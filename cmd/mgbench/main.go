@@ -1,0 +1,113 @@
+// Command mgbench regenerates every table and figure of the paper's
+// evaluation section from the reproduction harnesses in
+// internal/experiments.
+//
+// Example:
+//
+//	mgbench -exp all -scale quick
+//	mgbench -exp table1 -scale medium
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mgdiffnet/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: fig2, table1, fig7, table2, fig8, fig9, fig10, table3, table4, table5, table7, timing, baselines, all")
+		scale = flag.String("scale", "quick", "workload scale: quick, medium, full")
+	)
+	flag.Parse()
+
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mgbench:", err)
+		os.Exit(2)
+	}
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	any := false
+
+	var table1Rows []experiments.Table1Row
+	if run("table1") || run("fig7") {
+		any = true
+		fmt.Println("== running Table 1 (multigrid strategies)…")
+		table1Rows = experiments.Table1(experiments.DefaultTable1Config(sc))
+	}
+
+	switch {
+	case strings.Contains("fig2 table1 fig7 table2 fig8 fig9 fig10 table3 table4 table5 table7 timing baselines all", *exp):
+	default:
+		fmt.Fprintf(os.Stderr, "mgbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+
+	if run("fig2") {
+		any = true
+		fmt.Println(experiments.FormatFigure2(experiments.Figure2(sc)))
+	}
+	if run("table1") {
+		fmt.Println(experiments.FormatTable1(table1Rows))
+	}
+	if run("fig7") {
+		fmt.Println(experiments.FormatFigure7(experiments.Figure7(table1Rows)))
+	}
+	if run("table2") {
+		any = true
+		fmt.Println(experiments.FormatTable2(experiments.Table2(sc)))
+	}
+	if run("fig8") {
+		any = true
+		fmt.Println(experiments.FormatFigure8(experiments.Figure8(sc)))
+	}
+	if run("fig9") {
+		any = true
+		r, err := experiments.Figure9(sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mgbench: fig9:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.FormatFigure9(r))
+	}
+	if run("fig10") {
+		any = true
+		fmt.Println(experiments.FormatFigure10(experiments.Figure10(sc)))
+	}
+	if run("table3") {
+		any = true
+		fmt.Println(experiments.FormatCompare("Table 3: strategy predictions vs FEM", experiments.Table3(sc)))
+	}
+	if run("table4") {
+		any = true
+		fmt.Println(experiments.FormatCompare("Table 4: anecdotal omegas vs FEM (2D)",
+			experiments.Table4(sc, experiments.Table4Omegas)))
+	}
+	if run("table5") {
+		any = true
+		fmt.Println(experiments.FormatCompare("Table 5: 3D prediction vs FEM", experiments.Table5(sc)))
+	}
+	if run("table7") {
+		any = true
+		fmt.Println(experiments.FormatCompare("Table 7: appendix omegas vs FEM (2D)",
+			experiments.Table4(sc, experiments.Table7Omegas)))
+	}
+	if run("timing") {
+		any = true
+		fmt.Println(experiments.FormatTiming(experiments.InferenceVsFEM(sc)))
+	}
+	if run("baselines") {
+		any = true
+		rows := experiments.DataFreeVsDataDriven(sc)
+		rows = append(rows, experiments.PINNBaseline(sc))
+		fmt.Println(experiments.FormatBaselines(rows))
+	}
+	if !any && len(table1Rows) == 0 {
+		fmt.Fprintf(os.Stderr, "mgbench: nothing ran for -exp %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,148 @@
+// Command mginfer loads a model trained by cmd/mgtrain and produces a
+// full-field solution for a given parameter vector ω, optionally comparing
+// it against the FEM reference and writing the fields as CSV.
+//
+// Example:
+//
+//	mginfer -model model.bin -omega "0.3105,1.5386,0.0932,-1.2442" -res 64 -compare
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mgdiffnet/internal/fem"
+	"mgdiffnet/internal/field"
+	"mgdiffnet/internal/tensor"
+	"mgdiffnet/internal/unet"
+	"mgdiffnet/internal/vtkio"
+)
+
+func parseOmega(s string) (field.Omega, error) {
+	var w field.Omega
+	parts := strings.Split(s, ",")
+	if len(parts) != field.OmegaDim {
+		return w, fmt.Errorf("omega needs %d comma-separated values", field.OmegaDim)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return w, fmt.Errorf("omega component %d: %w", i, err)
+		}
+		w[i] = v
+	}
+	return w, nil
+}
+
+func writeCSV(path string, f *tensor.Tensor) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	cw := csv.NewWriter(out)
+	defer cw.Flush()
+	res := f.Dim(f.Rank() - 1)
+	rows := f.Len() / res
+	rec := make([]string, res)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < res; c++ {
+			rec[c] = strconv.FormatFloat(f.Data[r*res+c], 'g', 8, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	var (
+		model    = flag.String("model", "", "path to a model saved by mgtrain (required)")
+		omegaStr = flag.String("omega", "0.3105,1.5386,0.0932,-1.2442", "parameter vector ω (4 comma-separated values)")
+		res      = flag.Int("res", 64, "inference resolution")
+		compare  = flag.Bool("compare", false, "also run the FEM solver and report the error")
+		outCSV   = flag.String("csv", "", "write the predicted field to this CSV path")
+		outVTI   = flag.String("vti", "", "write prediction (+diffusivity, +FEM with -compare) to this VTK ImageData path")
+	)
+	flag.Parse()
+
+	if *model == "" {
+		fmt.Fprintln(os.Stderr, "mginfer: -model is required")
+		os.Exit(2)
+	}
+	w, err := parseOmega(*omegaStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mginfer:", err)
+		os.Exit(2)
+	}
+	net, err := unet.LoadFile(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mginfer:", err)
+		os.Exit(1)
+	}
+
+	dim := net.Cfg.Dim
+	loss := fem.NewEnergyLoss(dim)
+	var nu *tensor.Tensor
+	if dim == 2 {
+		nu = tensor.New(1, 1, *res, *res)
+		copy(nu.Data, field.Raster2D(w, *res).Data)
+	} else {
+		nu = tensor.New(1, 1, *res, *res, *res)
+		copy(nu.Data, field.Raster3D(w, *res).Data)
+	}
+	pred := loss.WithBC(net.Forward(nu, false))
+
+	var u *tensor.Tensor
+	if dim == 2 {
+		u = tensor.FromSlice(pred.Data, *res, *res)
+	} else {
+		u = tensor.FromSlice(pred.Data, *res, *res, *res)
+	}
+	fmt.Printf("mginfer: %dD field at res %d, u in [%.4f, %.4f], mean %.4f\n",
+		dim, *res, u.Min(), u.Max(), u.Mean())
+
+	var uFEM *tensor.Tensor
+	if *compare {
+		if dim == 2 {
+			uFEM, _ = fem.Solve2D(field.Raster2D(w, *res), 1e-9, 50000)
+		} else {
+			uFEM, _ = fem.Solve3D(field.Raster3D(w, *res), 1e-8, 50000)
+		}
+		diff := u.Clone()
+		diff.Sub(uFEM)
+		fmt.Printf("vs FEM: RMSE %.6f, max|err| %.6f, rel L2 %.6f\n",
+			u.RMSE(uFEM), diff.AbsMax(), diff.Norm2()/uFEM.Norm2())
+	}
+
+	if *outVTI != "" {
+		var nuField *tensor.Tensor
+		if dim == 2 {
+			nuField = field.Raster2D(w, *res)
+		} else {
+			nuField = field.Raster3D(w, *res)
+		}
+		fields := []vtkio.Field{{Name: "u_mgdiffnet", Data: u}, {Name: "nu", Data: nuField}}
+		if uFEM != nil {
+			fields = append(fields, vtkio.Field{Name: "u_fem", Data: uFEM})
+		}
+		if err := vtkio.WriteFile(*outVTI, fields); err != nil {
+			fmt.Fprintln(os.Stderr, "mginfer: vti:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("VTK ImageData written to %s\n", *outVTI)
+	}
+
+	if *outCSV != "" {
+		if err := writeCSV(*outCSV, u); err != nil {
+			fmt.Fprintln(os.Stderr, "mginfer: csv:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("field written to %s\n", *outCSV)
+	}
+}

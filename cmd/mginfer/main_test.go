@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"mgdiffnet/internal/tensor"
+)
+
+func TestParseOmega(t *testing.T) {
+	w, err := parseOmega("0.3105, 1.5386 ,0.0932,-1.2442")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 0.3105 || w[3] != -1.2442 {
+		t.Fatalf("parsed %v", w)
+	}
+	for _, bad := range []string{"1,2,3", "1,2,3,4,5", "a,b,c,d", ""} {
+		if _, err := parseOmega(bad); err == nil {
+			t.Fatalf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	path := t.TempDir() + "/field.csv"
+	f := tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	if err := writeCSV(path, f); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 || lines[0] != "1,2" || lines[1] != "3,4" {
+		t.Fatalf("csv content %q", string(data))
+	}
+}

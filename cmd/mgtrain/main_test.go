@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"mgdiffnet/internal/core"
+)
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]core.Strategy{
+		"base": core.Base, "v": core.V, "w": core.W, "f": core.F,
+		"half-v": core.HalfV, "halfv": core.HalfV, "HV": core.HalfV,
+		" V ": core.V,
+	}
+	for in, want := range cases {
+		got, err := parseStrategy(in)
+		if err != nil || got != want {
+			t.Fatalf("parseStrategy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseStrategy("zigzag"); err == nil {
+		t.Fatal("expected error for unknown strategy")
+	}
+}

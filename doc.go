@@ -1,0 +1,15 @@
+// Package mgdiffnet is a from-scratch Go reproduction of "Distributed
+// multigrid neural solvers on megavoxel domains" (SC 2021,
+// arXiv:2104.14538): a fully convolutional U-Net trained as a neural PDE
+// solver for the generalized 3D Poisson equation with a variational FEM
+// loss, multigrid-inspired training schedules (V/W/F/Half-V cycles over
+// input resolutions), and data-parallel distributed training with
+// ring-allreduce gradient averaging.
+//
+// The public surface lives under internal/ packages wired together by the
+// commands in cmd/ and the runnable examples in examples/; see README.md
+// for a map and DESIGN.md for the paper-to-module inventory. The root
+// package exists to host the repository-level benchmark suite
+// (bench_test.go), which regenerates every table and figure of the paper's
+// evaluation.
+package mgdiffnet

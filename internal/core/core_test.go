@@ -1,0 +1,394 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mgdiffnet/internal/field"
+	"mgdiffnet/internal/gmg"
+	"mgdiffnet/internal/tensor"
+	"mgdiffnet/internal/unet"
+)
+
+func levelsOf(seq []Stage) []int {
+	out := make([]int, len(seq))
+	for i, s := range seq {
+		out[i] = s.Level
+	}
+	return out
+}
+
+func eqInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestScheduleBase(t *testing.T) {
+	seq := Schedule(Base, 4, 64)
+	if len(seq) != 1 || seq[0].Level != 1 || seq[0].Res != 64 || seq[0].Phase != Prolongation {
+		t.Fatalf("base schedule %+v", seq)
+	}
+}
+
+func TestScheduleV(t *testing.T) {
+	seq := Schedule(V, 4, 64)
+	want := []int{1, 2, 3, 4, 3, 2, 1}
+	if !eqInts(levelsOf(seq), want) {
+		t.Fatalf("V levels %v want %v", levelsOf(seq), want)
+	}
+	// Descent stages are restrictions, ascent stages prolongations.
+	for i, s := range seq {
+		wantPhase := Prolongation
+		if i < 3 {
+			wantPhase = Restriction
+		}
+		if s.Phase != wantPhase {
+			t.Fatalf("stage %d phase %v", i, s.Phase)
+		}
+	}
+	// Resolutions halve per level.
+	if seq[0].Res != 64 || seq[3].Res != 8 || seq[6].Res != 64 {
+		t.Fatalf("V resolutions wrong: %+v", seq)
+	}
+}
+
+func TestScheduleHalfV(t *testing.T) {
+	seq := Schedule(HalfV, 4, 64)
+	want := []int{4, 3, 2, 1}
+	if !eqInts(levelsOf(seq), want) {
+		t.Fatalf("HalfV levels %v want %v", levelsOf(seq), want)
+	}
+	for _, s := range seq {
+		if s.Phase != Prolongation {
+			t.Fatal("HalfV must contain only prolongation stages")
+		}
+	}
+}
+
+func TestScheduleWVisitsCoarseMoreOften(t *testing.T) {
+	vSeq := Schedule(V, 3, 32)
+	wSeq := Schedule(W, 3, 32)
+	count := func(seq []Stage, level int) int {
+		n := 0
+		for _, s := range seq {
+			if s.Level == level {
+				n++
+			}
+		}
+		return n
+	}
+	if count(wSeq, 3) <= count(vSeq, 3) {
+		t.Fatalf("W must visit the coarsest level more often: W %d vs V %d", count(wSeq, 3), count(vSeq, 3))
+	}
+	// W starts at the finest and ends at the finest.
+	if wSeq[0].Level != 1 || wSeq[len(wSeq)-1].Level != 1 {
+		t.Fatalf("W endpoints: %v", levelsOf(wSeq))
+	}
+}
+
+func TestScheduleFBetweenVAndW(t *testing.T) {
+	vN := len(Schedule(V, 4, 64))
+	fN := len(Schedule(F, 4, 64))
+	wN := len(Schedule(W, 4, 64))
+	if !(vN < fN && fN < wN) {
+		t.Fatalf("stage counts must order V < F < W, got %d, %d, %d", vN, fN, wN)
+	}
+}
+
+func TestScheduleLevelMovesAreUnitSteps(t *testing.T) {
+	for _, s := range []Strategy{V, W, F} {
+		seq := Schedule(s, 4, 64)
+		for i := 1; i < len(seq); i++ {
+			d := seq[i].Level - seq[i-1].Level
+			if d != 1 && d != -1 {
+				t.Fatalf("%v: non-unit level move at %d: %v", s, i, levelsOf(seq))
+			}
+		}
+	}
+}
+
+func TestScheduleBadInputsPanic(t *testing.T) {
+	for name, f := range map[string]func(){
+		"levels":    func() { Schedule(V, 0, 64) },
+		"divisible": func() { Schedule(V, 4, 60) },
+		"strategy":  func() { Schedule(Strategy(42), 2, 16) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		Base: "Base", V: "V Cycle", W: "W Cycle", F: "F Cycle", HalfV: "Half-V Cycle",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d -> %q want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestFromCycleType(t *testing.T) {
+	pairs := map[gmg.CycleType]Strategy{
+		gmg.VCycle: V, gmg.WCycle: W, gmg.FCycle: F, gmg.HalfVCycle: HalfV,
+	}
+	for ct, want := range pairs {
+		if got := FromCycleType(ct); got != want {
+			t.Fatalf("%v -> %v want %v", ct, got, want)
+		}
+	}
+}
+
+func TestEarlyStopper(t *testing.T) {
+	e := NewEarlyStopper(2, 1e-3)
+	losses := []float64{1.0, 0.5, 0.499, 0.4995}
+	want := []bool{false, false, false, true}
+	for i, l := range losses {
+		if got := e.Observe(l); got != want[i] {
+			t.Fatalf("step %d: Observe(%v)=%v want %v", i, l, got, want[i])
+		}
+	}
+	if e.Best() != 0.5 {
+		t.Fatalf("best %v", e.Best())
+	}
+	e.Reset()
+	if e.Observe(100) {
+		t.Fatal("fresh stopper must not stop")
+	}
+}
+
+func TestEarlyStopperPanicsOnBadPatience(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEarlyStopper(0, 0)
+}
+
+func tinyConfig(dim int) Config {
+	cfg := DefaultConfig(dim)
+	cfg.FinestRes = 16
+	cfg.Levels = 2
+	cfg.Samples = 4
+	cfg.BatchSize = 2
+	cfg.RestrictionEpochs = 1
+	cfg.MaxEpochsPerStage = 3
+	cfg.Patience = 2
+	net := unet.DefaultConfig(dim)
+	net.BaseFilters = 4
+	cfg.Net = &net
+	if dim == 3 {
+		cfg.FinestRes = 16
+		cfg.Samples = 2
+		cfg.BatchSize = 1
+		cfg.MaxEpochsPerStage = 2
+	}
+	return cfg
+}
+
+func TestTrainerRunHalfV2D(t *testing.T) {
+	cfg := tinyConfig(2)
+	tr := NewTrainer(cfg)
+	rep := tr.Run()
+	if len(rep.Stages) != 2 { // HalfV with 2 levels: coarse, fine
+		t.Fatalf("stages %d want 2", len(rep.Stages))
+	}
+	if rep.Stages[0].Stage.Res != 8 || rep.Stages[1].Stage.Res != 16 {
+		t.Fatalf("stage resolutions %+v", rep.Stages)
+	}
+	if rep.FinalLoss <= 0 || math.IsNaN(rep.FinalLoss) {
+		t.Fatalf("final loss %v", rep.FinalLoss)
+	}
+	if len(rep.History) == 0 {
+		t.Fatal("history empty")
+	}
+	if rep.TotalSeconds <= 0 {
+		t.Fatal("no time recorded")
+	}
+}
+
+func TestTrainerLossDecreasesOverEpochs(t *testing.T) {
+	cfg := tinyConfig(2)
+	cfg.Strategy = Base
+	cfg.MaxEpochsPerStage = 8
+	cfg.Patience = 8
+	tr := NewTrainer(cfg)
+	rep := tr.Run()
+	first := rep.History[0].Loss
+	last := rep.History[len(rep.History)-1].Loss
+	if !(last < first) {
+		t.Fatalf("training loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestTrainerVSchedulePhases(t *testing.T) {
+	cfg := tinyConfig(2)
+	cfg.Strategy = V
+	tr := NewTrainer(cfg)
+	rep := tr.Run()
+	// V with 2 levels: (1, restriction), (2, prolongation), (1, prolongation).
+	if len(rep.Stages) != 3 {
+		t.Fatalf("V stages %d", len(rep.Stages))
+	}
+	if rep.Stages[0].Epochs != cfg.RestrictionEpochs {
+		t.Fatalf("restriction stage trained %d epochs want %d", rep.Stages[0].Epochs, cfg.RestrictionEpochs)
+	}
+	if rep.Stages[1].Epochs > cfg.MaxEpochsPerStage {
+		t.Fatal("prolongation exceeded cap")
+	}
+}
+
+func TestTrainerAdaptation(t *testing.T) {
+	cfg := tinyConfig(2)
+	cfg.Strategy = HalfV
+	cfg.Adapt = true
+	tr := NewTrainer(cfg)
+	before := tr.Net.ParamCount()
+	rep := tr.Run()
+	if tr.Net.ParamCount() <= before {
+		t.Fatal("adaptation did not add parameters")
+	}
+	// The move coarse→fine is stage 1; it must be flagged.
+	if !rep.Stages[1].Adapted {
+		t.Fatalf("stage 1 not adapted: %+v", rep.Stages)
+	}
+	if rep.Stages[0].Adapted {
+		t.Fatal("first stage cannot be adapted")
+	}
+}
+
+func TestTrainerPredictShapeAndBC(t *testing.T) {
+	cfg := tinyConfig(2)
+	tr := NewTrainer(cfg)
+	tr.Run()
+	w := field.Omega{0.3105, 1.5386, 0.0932, -1.2442}
+	u := tr.Predict(w, 16)
+	if u.Rank() != 2 || u.Dim(0) != 16 {
+		t.Fatalf("prediction shape %v", u.Shape())
+	}
+	for iy := 0; iy < 16; iy++ {
+		if u.At(iy, 0) != 1 || u.At(iy, 15) != 0 {
+			t.Fatal("prediction violates Dirichlet BC")
+		}
+	}
+	// Fully convolutional: the same trained weights evaluate at a finer
+	// resolution (natural prolongation).
+	u32 := tr.Predict(w, 32)
+	if u32.Dim(0) != 32 {
+		t.Fatalf("prolonged prediction shape %v", u32.Shape())
+	}
+}
+
+func TestTrainerRun3D(t *testing.T) {
+	cfg := tinyConfig(3)
+	tr := NewTrainer(cfg)
+	rep := tr.Run()
+	if rep.FinalLoss <= 0 || math.IsNaN(rep.FinalLoss) {
+		t.Fatalf("3D final loss %v", rep.FinalLoss)
+	}
+	w := field.Omega{0.5, -0.5, 1, -1}
+	u := tr.Predict(w, 8)
+	if u.Rank() != 3 {
+		t.Fatalf("3D prediction rank %d", u.Rank())
+	}
+}
+
+func TestTrainerDeterministic(t *testing.T) {
+	cfg := tinyConfig(2)
+	cfg.MaxEpochsPerStage = 2
+	a := NewTrainer(cfg).Run()
+	b := NewTrainer(cfg).Run()
+	if a.FinalLoss != b.FinalLoss {
+		t.Fatalf("non-deterministic training: %v vs %v", a.FinalLoss, b.FinalLoss)
+	}
+}
+
+func TestTimePerLevel(t *testing.T) {
+	rep := &Report{Stages: []StageReport{
+		{Stage: Stage{Level: 1}, Seconds: 2},
+		{Stage: Stage{Level: 2}, Seconds: 1},
+		{Stage: Stage{Level: 1}, Seconds: 3},
+	}}
+	tl := rep.TimePerLevel()
+	if tl[1] != 5 || tl[2] != 1 {
+		t.Fatalf("TimePerLevel %v", tl)
+	}
+}
+
+func TestRestrictInputHalvesResolution(t *testing.T) {
+	w := field.Omega{1, -1, 0.5, -0.5}
+	fine := tensor.New(1, 1, 16, 16)
+	copy(fine.Data, field.Raster2D(w, 16).Data)
+	coarse := RestrictInput(fine)
+	if coarse.Dim(2) != 8 {
+		t.Fatalf("restricted shape %v", coarse.Shape())
+	}
+	// Restriction approximates rasterizing at the coarse grid: the two
+	// fields must be close (same smooth function, different sampling).
+	direct := tensor.New(1, 1, 8, 8)
+	copy(direct.Data, field.Raster2D(w, 8).Data)
+	if d := coarse.RMSE(direct); d > 0.25*direct.AbsMax() {
+		t.Fatalf("restriction far from coarse raster: RMSE %v", d)
+	}
+}
+
+func TestTrainerBadConfigPanics(t *testing.T) {
+	for name, mod := range map[string]func(*Config){
+		"dim":     func(c *Config) { c.Dim = 4 },
+		"levels":  func(c *Config) { c.Levels = 0 },
+		"coarse":  func(c *Config) { c.Levels = 3; c.FinestRes = 16 }, // coarsest 4 < min 8
+		"batch":   func(c *Config) { c.BatchSize = 0 },
+		"samples": func(c *Config) { c.Samples = 0 },
+	} {
+		cfg := tinyConfig(2)
+		mod(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			NewTrainer(cfg)
+		}()
+	}
+}
+
+func TestMultiCycleTraining(t *testing.T) {
+	cfg := tinyConfig(2)
+	cfg.Strategy = HalfV
+	cfg.Cycles = 2
+	tr := NewTrainer(cfg)
+	rep := tr.Run()
+	// Half-V with 2 levels has 2 stages per cycle; two cycles -> 4 stages.
+	if len(rep.Stages) != 4 {
+		t.Fatalf("stages %d want 4", len(rep.Stages))
+	}
+	// The second cycle re-descends to the coarse level.
+	if rep.Stages[2].Stage.Res != 8 {
+		t.Fatalf("second cycle should restart coarse, got res %d", rep.Stages[2].Stage.Res)
+	}
+}
+
+func TestMultiCycleIgnoredForBase(t *testing.T) {
+	cfg := tinyConfig(2)
+	cfg.Strategy = Base
+	cfg.Cycles = 3
+	rep := NewTrainer(cfg).Run()
+	if len(rep.Stages) != 1 {
+		t.Fatalf("base with cycles should still be 1 stage, got %d", len(rep.Stages))
+	}
+}

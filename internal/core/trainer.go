@@ -1,0 +1,361 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mgdiffnet/internal/fem"
+	"mgdiffnet/internal/field"
+	"mgdiffnet/internal/nn"
+	"mgdiffnet/internal/tensor"
+	"mgdiffnet/internal/unet"
+)
+
+// Config drives a multigrid training run (Algorithm 1 + the schedules of
+// §3.1.2).
+type Config struct {
+	// Dim is the spatial dimensionality (2 or 3).
+	Dim int
+	// Strategy is the training schedule (Base, V, W, F, HalfV).
+	Strategy Strategy
+	// Levels is the number of multigrid levels (paper: 3 or 4).
+	Levels int
+	// FinestRes is the level-1 nodal resolution.
+	FinestRes int
+	// Samples is the number of Sobol-sampled diffusivity maps.
+	Samples int
+	// BatchSize is the global mini-batch size (paper: 64 in 2D studies).
+	BatchSize int
+	// LR is the Adam learning rate (paper: 1e-5 multigrid study).
+	LR float64
+	// RestrictionEpochs is the fixed epoch budget of descent stages.
+	RestrictionEpochs int
+	// MaxEpochsPerStage caps converge-trained (prolongation) stages.
+	MaxEpochsPerStage int
+	// Patience and MinDelta parameterize early stopping.
+	Patience int
+	MinDelta float64
+	// Adapt enables architectural adaptation (§4.1.2) when moving to a
+	// finer resolution.
+	Adapt bool
+	// Cycles repeats the multigrid schedule (default 1, the paper's
+	// choice; §3.1.2 notes extending to several cycles as a possible
+	// variation, at the risk of the "moving target" effect). Ignored for
+	// the Base strategy.
+	Cycles int
+	// Seed fixes weight initialization and makes runs reproducible.
+	Seed int64
+	// Net overrides the default U-Net configuration when non-nil
+	// (Dim and Seed are forced to match this Config).
+	Net *unet.Config
+	// Data overrides the default Sobol log-permeability dataset, letting
+	// the same trainer run on any coefficient-field family (e.g. the
+	// composite-inclusion fields of the conclusion's application list).
+	// When nil, field.NewDataset(Samples, Dim) is used.
+	Data DataSource
+	// Logf, when non-nil, receives one line per stage for progress logs.
+	Logf func(format string, args ...any)
+}
+
+// DefaultConfig returns a small but representative configuration for the
+// given dimensionality; experiment harnesses override the fields they
+// sweep.
+func DefaultConfig(dim int) Config {
+	return Config{
+		Dim:               dim,
+		Strategy:          HalfV,
+		Levels:            3,
+		FinestRes:         32,
+		Samples:           16,
+		BatchSize:         8,
+		LR:                1e-3,
+		RestrictionEpochs: 2,
+		MaxEpochsPerStage: 40,
+		Patience:          4,
+		MinDelta:          1e-5,
+		Seed:              42,
+	}
+}
+
+func (c *Config) validate() {
+	if c.Dim != 2 && c.Dim != 3 {
+		panic("core: Dim must be 2 or 3")
+	}
+	if c.Levels < 1 {
+		panic("core: Levels must be >= 1")
+	}
+	if c.BatchSize < 1 || c.Samples < 1 {
+		panic("core: Samples and BatchSize must be >= 1")
+	}
+	if c.MaxEpochsPerStage < 1 {
+		panic("core: MaxEpochsPerStage must be >= 1")
+	}
+	if c.Patience < 1 {
+		c.Patience = 1
+	}
+}
+
+// EpochRecord is one epoch of the loss trajectory (Figure 8).
+type EpochRecord struct {
+	Stage int     // index into Report.Stages
+	Res   int     // resolution trained at
+	Loss  float64 // mean mini-batch loss of the epoch
+}
+
+// StageReport summarizes one schedule stage.
+type StageReport struct {
+	Stage     Stage
+	Epochs    int
+	FinalLoss float64
+	Seconds   float64
+	Adapted   bool // architectural adaptation applied entering this stage
+}
+
+// Report is the outcome of a training run.
+type Report struct {
+	Strategy     Strategy
+	Stages       []StageReport
+	History      []EpochRecord
+	FinalLoss    float64
+	TotalSeconds float64
+}
+
+// TimePerLevel aggregates stage wall-clock by level (Figure 7's pie chart).
+// The returned map is level → seconds.
+func (r *Report) TimePerLevel() map[int]float64 {
+	out := map[int]float64{}
+	for _, s := range r.Stages {
+		out[s.Stage.Level] += s.Seconds
+	}
+	return out
+}
+
+// DataSource supplies batched coefficient fields at any resolution. It is
+// satisfied by field.Dataset (the paper's Sobol log-permeability family)
+// and field.InclusionDataset (composite microstructures).
+type DataSource interface {
+	// Len returns the number of samples.
+	Len() int
+	// Batch rasterizes count samples starting at start (wrapping) into a
+	// [count, 1, spatial...] tensor at the given nodal resolution.
+	Batch(start, count, res int) *tensor.Tensor
+}
+
+// Trainer owns the network, loss, dataset and optimizer of one run.
+type Trainer struct {
+	Cfg  Config
+	Net  *unet.UNet
+	Loss *fem.EnergyLoss
+	Data DataSource
+	Opt  *nn.Adam
+}
+
+// NewTrainer builds a trainer with a fresh U-Net and Sobol dataset.
+func NewTrainer(cfg Config) *Trainer {
+	cfg.validate()
+	var ncfg unet.Config
+	if cfg.Net != nil {
+		ncfg = *cfg.Net
+	} else {
+		ncfg = unet.DefaultConfig(cfg.Dim)
+	}
+	ncfg.Dim = cfg.Dim
+	ncfg.Seed = cfg.Seed
+	net := unet.New(ncfg)
+
+	coarsest := cfg.FinestRes >> (cfg.Levels - 1)
+	if coarsest < net.MinInputSize() || coarsest%net.MinInputSize() != 0 {
+		panic(fmt.Sprintf("core: coarsest resolution %d incompatible with U-Net minimum %d", coarsest, net.MinInputSize()))
+	}
+
+	data := cfg.Data
+	if data == nil {
+		data = field.NewDataset(cfg.Samples, cfg.Dim)
+	}
+	return &Trainer{
+		Cfg:  cfg,
+		Net:  net,
+		Loss: fem.NewEnergyLoss(cfg.Dim),
+		Data: data,
+		Opt:  nn.NewAdam(net.Params(), cfg.LR),
+	}
+}
+
+// TrainEpoch runs one epoch at the given resolution following Algorithm 1
+// and returns the mean mini-batch loss.
+func (t *Trainer) TrainEpoch(res int) float64 {
+	bs := t.Cfg.BatchSize
+	ns := t.Data.Len()
+	nb := (ns + bs - 1) / bs
+	total := 0.0
+	for mb := 0; mb < nb; mb++ {
+		nu := t.Data.Batch(mb*bs, bs, res)
+		nn.ZeroGrads(t.Net)
+		pred := t.Net.Forward(nu, true)
+		loss, grad := t.Loss.Eval(pred, nu)
+		t.Net.Backward(grad)
+		t.Opt.Step()
+		total += loss
+	}
+	return total / float64(nb)
+}
+
+// EvalLoss computes the mean loss over the dataset at the given resolution
+// without updating weights.
+func (t *Trainer) EvalLoss(res int) float64 {
+	bs := t.Cfg.BatchSize
+	ns := t.Data.Len()
+	nb := (ns + bs - 1) / bs
+	total := 0.0
+	for mb := 0; mb < nb; mb++ {
+		nu := t.Data.Batch(mb*bs, bs, res)
+		pred := t.Net.Forward(nu, false)
+		loss, _ := t.Loss.Eval(pred, nu)
+		total += loss
+	}
+	return total / float64(nb)
+}
+
+// Run executes the configured schedule and returns its report.
+func (t *Trainer) Run() *Report {
+	sched := Schedule(t.Cfg.Strategy, t.Cfg.Levels, t.Cfg.FinestRes)
+	if cycles := t.Cfg.Cycles; cycles > 1 && t.Cfg.Strategy != Base {
+		one := sched
+		for c := 1; c < cycles; c++ {
+			// Subsequent cycles re-enter the hierarchy without repeating
+			// the stage the previous cycle ended on.
+			next := one
+			if len(next) > 1 && next[0] == sched[len(sched)-1] {
+				next = next[1:]
+			}
+			sched = append(sched, next...)
+		}
+	}
+	rep := &Report{Strategy: t.Cfg.Strategy}
+	start := time.Now()
+	prevRes := 0
+	for si, st := range sched {
+		adapted := false
+		if t.Cfg.Adapt && prevRes != 0 && st.Res > prevRes {
+			fresh := t.Net.Adapt()
+			t.Opt.ExtendParams(fresh)
+			adapted = true
+		}
+		sr := t.runStage(si, st, rep)
+		sr.Adapted = adapted
+		rep.Stages = append(rep.Stages, sr)
+		if t.Cfg.Logf != nil {
+			t.Cfg.Logf("stage %d/%d: level %d (res %d, %s) epochs=%d loss=%.6f time=%.2fs",
+				si+1, len(sched), st.Level, st.Res, st.Phase, sr.Epochs, sr.FinalLoss, sr.Seconds)
+		}
+		prevRes = st.Res
+	}
+	rep.TotalSeconds = time.Since(start).Seconds()
+	if n := len(rep.Stages); n > 0 {
+		rep.FinalLoss = rep.Stages[n-1].FinalLoss
+	}
+	return rep
+}
+
+func (t *Trainer) runStage(si int, st Stage, rep *Report) StageReport {
+	begin := time.Now()
+	sr := StageReport{Stage: st}
+	if st.Phase == Restriction {
+		for e := 0; e < t.Cfg.RestrictionEpochs; e++ {
+			loss := t.TrainEpoch(st.Res)
+			sr.Epochs++
+			sr.FinalLoss = loss
+			rep.History = append(rep.History, EpochRecord{Stage: si, Res: st.Res, Loss: loss})
+		}
+	} else {
+		stop := NewEarlyStopper(t.Cfg.Patience, t.Cfg.MinDelta)
+		for e := 0; e < t.Cfg.MaxEpochsPerStage; e++ {
+			loss := t.TrainEpoch(st.Res)
+			sr.Epochs++
+			sr.FinalLoss = loss
+			rep.History = append(rep.History, EpochRecord{Stage: si, Res: st.Res, Loss: loss})
+			if stop.Observe(loss) {
+				break
+			}
+		}
+	}
+	sr.Seconds = time.Since(begin).Seconds()
+	return sr
+}
+
+// CurvePoint is one epoch of a baseline training curve: the loss reached
+// and the cumulative wall-clock spent.
+type CurvePoint struct {
+	Epoch      int
+	Loss       float64
+	CumSeconds float64
+}
+
+// BaseCurve trains directly at the given resolution for up to maxEpochs,
+// recording the (loss, cumulative time) trajectory. Experiment harnesses
+// use it for the time-to-equal-loss comparison behind Table 1: the baseline
+// cost of a multigrid run is the time direct training needs to first reach
+// the multigrid run's final loss.
+func (t *Trainer) BaseCurve(res, maxEpochs int) []CurvePoint {
+	curve := make([]CurvePoint, 0, maxEpochs)
+	start := time.Now()
+	for e := 0; e < maxEpochs; e++ {
+		loss := t.TrainEpoch(res)
+		curve = append(curve, CurvePoint{Epoch: e + 1, Loss: loss, CumSeconds: time.Since(start).Seconds()})
+	}
+	return curve
+}
+
+// TimeToLoss scans a curve for the first epoch whose loss is at or below
+// target. The boolean reports whether the target was reached; when it was
+// not, the final point is returned and the caller should treat the time as
+// a lower bound.
+func TimeToLoss(curve []CurvePoint, target float64) (CurvePoint, bool) {
+	for _, p := range curve {
+		if p.Loss <= target {
+			return p, true
+		}
+	}
+	if len(curve) == 0 {
+		return CurvePoint{}, false
+	}
+	return curve[len(curve)-1], false
+}
+
+// Predict evaluates the trained network on one parameter vector at the
+// given resolution and returns the solution field with exact boundary
+// values imposed ([res,res] or [res,res,res]).
+func (t *Trainer) Predict(w field.Omega, res int) *tensor.Tensor {
+	var nu *tensor.Tensor
+	if t.Cfg.Dim == 2 {
+		nu = tensor.New(1, 1, res, res)
+		f := field.Raster2D(w, res)
+		copy(nu.Data, f.Data)
+	} else {
+		nu = tensor.New(1, 1, res, res, res)
+		f := field.Raster3D(w, res)
+		copy(nu.Data, f.Data)
+	}
+	pred := t.Net.Forward(nu, false)
+	out := t.Loss.WithBC(pred)
+	if t.Cfg.Dim == 2 {
+		return tensor.FromSlice(out.Data, res, res)
+	}
+	return tensor.FromSlice(out.Data, res, res, res)
+}
+
+// PredictField evaluates the trained network on an explicit coefficient
+// batch ([N, 1, spatial...]) and returns the BC-imposed solution batch of
+// the same shape. It is the inference entry point for data sources that
+// are not parameterized by ω (e.g. composite microstructures).
+func (t *Trainer) PredictField(nu *tensor.Tensor) *tensor.Tensor {
+	pred := t.Net.Forward(nu, false)
+	return t.Loss.WithBC(pred)
+}
+
+// RestrictInput is the multigrid restriction operator on input fields: a
+// 2× average pooling, exposed for tests and ablations comparing "restrict
+// the fine raster" against "rasterize at the coarse grid".
+func RestrictInput(nu *tensor.Tensor) *tensor.Tensor {
+	return nn.AvgPoolApply(nu, 2)
+}

@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mgdiffnet/internal/core"
+)
+
+func TestParseScale(t *testing.T) {
+	for s, want := range map[string]Scale{"quick": Quick, "": Quick, "medium": Medium, "full": Full, "FULL": Full} {
+		got, err := ParseScale(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseScale(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("expected error for unknown scale")
+	}
+}
+
+func TestFigure2MonotoneCost(t *testing.T) {
+	pts := Figure2(Quick)
+	if len(pts) != 3 {
+		t.Fatalf("points %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.DoF != p.Res*p.Res {
+			t.Fatalf("DoF mismatch at %d", i)
+		}
+		if p.EpochSec <= 0 {
+			t.Fatalf("non-positive epoch time at %d", i)
+		}
+	}
+	// The paper's Figure 2 motivation: cost grows with resolution. The
+	// largest resolution must be costlier than the smallest.
+	if pts[len(pts)-1].EpochSec <= pts[0].EpochSec {
+		t.Fatalf("cost did not grow with DoF: %+v", pts)
+	}
+	out := FormatFigure2(pts)
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "DoF") {
+		t.Fatalf("format output:\n%s", out)
+	}
+}
+
+func TestTable1QuickStructure(t *testing.T) {
+	cfg := DefaultTable1Config(Quick)
+	cfg.Resolutions = []int{32}
+	cfg.LevelCounts = []int{2}
+	rows := Table1(cfg)
+	if len(rows) != 4 { // V, Half-V, W, F at one (res, levels) point
+		t.Fatalf("rows %d want 4", len(rows))
+	}
+	seen := map[core.Strategy]bool{}
+	for _, r := range rows {
+		seen[r.Strategy] = true
+		if r.BaseSec <= 0 || r.MGSec <= 0 || r.Speedup <= 0 {
+			t.Fatalf("non-positive timing in %+v", r)
+		}
+		if r.BaseLoss <= 0 || r.MGLoss <= 0 || math.IsNaN(r.MGLoss) {
+			t.Fatalf("bad losses in %+v", r)
+		}
+		if r.Report == nil {
+			t.Fatal("report not retained")
+		}
+	}
+	for _, s := range []core.Strategy{core.V, core.HalfV, core.W, core.F} {
+		if !seen[s] {
+			t.Fatalf("strategy %v missing", s)
+		}
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "speedup") || !strings.Contains(out, "Half-V") {
+		t.Fatalf("format output:\n%s", out)
+	}
+}
+
+func TestLevelsFeasible(t *testing.T) {
+	if !levelsFeasible(32, 2, 2) {
+		t.Fatal("32 with 2 levels must be feasible")
+	}
+	if !levelsFeasible(32, 3, 2) {
+		t.Fatal("32 with 3 levels (coarsest 8) must be feasible")
+	}
+	if levelsFeasible(32, 4, 2) {
+		t.Fatal("32 with 4 levels (coarsest 4) must be infeasible for a depth-3 U-Net")
+	}
+}
+
+func TestFigure7SharesSumTo100(t *testing.T) {
+	cfg := DefaultTable1Config(Quick)
+	cfg.Resolutions = []int{32}
+	cfg.LevelCounts = []int{2}
+	rows := Table1(cfg)
+	shares := Figure7(rows)
+	if len(shares) == 0 {
+		t.Fatal("no shares")
+	}
+	byStrategy := map[core.Strategy]float64{}
+	for _, s := range shares {
+		byStrategy[s.Strategy] += s.Percent
+	}
+	for strat, total := range byStrategy {
+		if math.Abs(total-100) > 1e-6 {
+			t.Fatalf("%v shares sum to %v", strat, total)
+		}
+	}
+	out := FormatFigure7(shares)
+	if !strings.Contains(out, "% time") {
+		t.Fatalf("format output:\n%s", out)
+	}
+}
+
+func TestTable2Structure(t *testing.T) {
+	rows := Table2(Quick)
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	if !strings.Contains(rows[0].Label, "no network adaptation") {
+		t.Fatalf("row order: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Speedup <= 0 || r.MGLoss <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "adaptation") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestFigure8LossDropsAtCoarseThenFine(t *testing.T) {
+	series := Figure8(Quick)
+	if len(series) != 2 {
+		t.Fatalf("series %d", len(series))
+	}
+	mg := series[1]
+	if len(mg.Epochs) < 2 {
+		t.Fatal("multigrid history too short")
+	}
+	// The Half-V trajectory must contain at least two resolutions, coarse
+	// first.
+	resSeen := []int{mg.Epochs[0].Res}
+	for _, e := range mg.Epochs {
+		if e.Res != resSeen[len(resSeen)-1] {
+			resSeen = append(resSeen, e.Res)
+		}
+	}
+	if len(resSeen) < 2 || resSeen[0] >= resSeen[len(resSeen)-1] {
+		t.Fatalf("resolution progression %v", resSeen)
+	}
+	out := FormatFigure8(series)
+	if !strings.Contains(out, "Half-V") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestFigure9MeasuredAndProjected(t *testing.T) {
+	r, err := Figure9(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Measured) < 1 {
+		t.Fatal("no measured points")
+	}
+	if r.Measured[0].Workers != 1 || r.Measured[0].Speedup != 1 {
+		t.Fatalf("baseline point %+v", r.Measured[0])
+	}
+	if len(r.Projected) != 10 || r.Projected[9].Devices != 512 {
+		t.Fatalf("projection points %d", len(r.Projected))
+	}
+	// The projected 512-GPU speedup must reproduce the paper's ~480×.
+	s := r.Projected[9].Speedup
+	if s < 400 || s > 520 {
+		t.Fatalf("projected 512-GPU speedup %v", s)
+	}
+	out := FormatFigure9(r)
+	if !strings.Contains(out, "projected") || !strings.Contains(out, "measured") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestFigure10MemoryGate(t *testing.T) {
+	r := Figure10(Quick)
+	if r.FitsGPU {
+		t.Fatal("512^3 must not fit on a 32GB GPU")
+	}
+	if !r.FitsNode {
+		t.Fatal("512^3 must fit on a 256GB node")
+	}
+	if len(r.Projected) != 8 || r.Projected[7].Devices != 128 {
+		t.Fatalf("projection %+v", r.Projected)
+	}
+	if r.Projected[7].Speedup < 100 {
+		t.Fatalf("128-node speedup %v too low for a strong-scaling claim", r.Projected[7].Speedup)
+	}
+	out := FormatFigure10(r)
+	if !strings.Contains(out, "Bridges2") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestTable3StrategiesProduceBoundedError(t *testing.T) {
+	rows := Table3(Quick)
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		// Quick-scale training is short; predictions stay in [0,1] thanks
+		// to the Sigmoid + exact BCs, so the error against FEM (also in
+		// [0,1]) is bounded and finite.
+		if math.IsNaN(r.RMSE) || r.RMSE > 1 {
+			t.Fatalf("%s RMSE %v", r.Label, r.RMSE)
+		}
+		// The FEM energy is the minimum: the network cannot beat it.
+		if r.NNLoss < r.FEMLoss-1e-9 {
+			t.Fatalf("%s: network energy %v below FEM optimum %v", r.Label, r.NNLoss, r.FEMLoss)
+		}
+	}
+	out := FormatCompare("Table 3", rows)
+	if !strings.Contains(out, "J(u_FEM)") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestTable4And7(t *testing.T) {
+	rows := Table4(Quick, Table4Omegas)
+	if len(rows) != len(Table4Omegas) {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.RelL2 < 0 || math.IsNaN(r.RelL2) {
+			t.Fatalf("bad RelL2 %v", r.RelL2)
+		}
+	}
+	rows7 := Table4(Quick, Table7Omegas)
+	if len(rows7) != 3 {
+		t.Fatalf("table 7 rows %d", len(rows7))
+	}
+}
+
+func TestTable5Is3D(t *testing.T) {
+	rows := Table5(Quick)
+	if len(rows) != 1 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	if rows[0].NNLoss < rows[0].FEMLoss-1e-9 {
+		t.Fatalf("3D network energy below FEM optimum: %+v", rows[0])
+	}
+}
+
+func TestInferenceVsFEMOrdering(t *testing.T) {
+	r := InferenceVsFEM(Quick)
+	if r.InferenceSec <= 0 || r.CGSolveSec <= 0 || r.GMGSolveSec <= 0 {
+		t.Fatalf("non-positive timings %+v", r)
+	}
+	if r.GMGCycles < 1 {
+		t.Fatalf("GMG cycles %d", r.GMGCycles)
+	}
+	out := FormatTiming(r)
+	if !strings.Contains(out, "MGDiffNet inference") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestDataFreeVsDataDriven(t *testing.T) {
+	rows := DataFreeVsDataDriven(Quick)
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	free, super := rows[0], rows[1]
+	if free.LabelGenSec != 0 {
+		t.Fatal("data-free method must not pay annotation cost")
+	}
+	if super.LabelGenSec <= 0 {
+		t.Fatal("supervised method must record label generation cost")
+	}
+	for _, r := range rows {
+		if r.ErrVsFEM <= 0 || r.ErrVsFEM > 1 || math.IsNaN(r.ErrVsFEM) {
+			t.Fatalf("%s: bad error %v", r.Method, r.ErrVsFEM)
+		}
+		if r.PerQuerySec <= 0 {
+			t.Fatalf("%s: bad per-query time", r.Method)
+		}
+	}
+	out := FormatBaselines(rows)
+	if !strings.Contains(out, "data-free") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestPINNBaselineSingleInstance(t *testing.T) {
+	row := PINNBaseline(Quick)
+	if row.PerQuerySec != row.TrainSec {
+		t.Fatal("a pointwise solver's per-query cost is a full solve")
+	}
+	if row.ErrVsFEM <= 0 || math.IsNaN(row.ErrVsFEM) {
+		t.Fatalf("bad error %v", row.ErrVsFEM)
+	}
+	// Amortization claim: the PINN per-query cost must exceed a trained
+	// surrogate's inference by orders of magnitude.
+	rows := DataFreeVsDataDriven(Quick)
+	if row.PerQuerySec < 10*rows[0].PerQuerySec {
+		t.Fatalf("PINN per-query %v should dwarf surrogate inference %v",
+			row.PerQuerySec, rows[0].PerQuerySec)
+	}
+}

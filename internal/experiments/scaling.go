@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"mgdiffnet/internal/dist"
+	"mgdiffnet/internal/perfmodel"
+	"mgdiffnet/internal/tensor"
+	"mgdiffnet/internal/unet"
+)
+
+// MeasuredScalingPoint is one measured bar of the strong-scaling study run
+// with real goroutine workers and a real ring allreduce.
+type MeasuredScalingPoint struct {
+	Workers  int
+	EpochSec float64
+	Speedup  float64
+	Loss     float64
+}
+
+// Figure9Result combines the measured in-process scaling (validating the
+// code path) with the calibrated projection to the paper's 512 V100s.
+type Figure9Result struct {
+	Measured  []MeasuredScalingPoint
+	Projected []perfmodel.ScalingPoint
+	ParamsNw  int
+}
+
+// Figure9 reproduces the GPU strong-scaling study. The measured half runs
+// the actual distributed trainer with 1..min(8, NumCPU) workers on a small
+// 3D volume; the projected half evaluates the Table 6 Azure model at the
+// paper's 256³/1024-sample workload up to 512 devices.
+func Figure9(sc Scale) (*Figure9Result, error) {
+	// Measured: fix the *total* work and scale workers (strong scaling).
+	res, samples, batch := 8, 8, 4
+	if sc != Quick {
+		res, samples, batch = 16, 16, 8
+	}
+	maxW := runtime.GOMAXPROCS(0)
+	if maxW > 8 {
+		maxW = 8
+	}
+	var workers []int
+	for p := 1; p <= maxW; p *= 2 {
+		workers = append(workers, p)
+	}
+
+	out := &Figure9Result{}
+	var baseSec float64
+	for _, p := range workers {
+		net := unet.DefaultConfig(3)
+		net.BaseFilters = 4
+		net.Depth = 2
+		net.BatchNorm = false
+		cfg := dist.ParallelConfig{
+			Workers: p, Dim: 3, Res: res,
+			Samples: samples, GlobalBatch: batch,
+			LR: 1e-3, Seed: 11, Net: &net,
+		}
+		pt, err := dist.NewParallelTrainer(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// With p in-process workers each replica must not oversubscribe the
+		// CPU with its own parallel kernels.
+		prev := tensor.SetParallelism(max(1, runtime.GOMAXPROCS(0)/p))
+		if _, _, err := pt.TimeEpoch(); err != nil { // warm-up
+			tensor.SetParallelism(prev)
+			pt.Close()
+			return nil, err
+		}
+		dur, loss, err := pt.TimeEpoch()
+		tensor.SetParallelism(prev)
+		pt.Close()
+		if err != nil {
+			return nil, err
+		}
+		sec := dur.Seconds()
+		if p == 1 {
+			baseSec = sec
+		}
+		out.Measured = append(out.Measured, MeasuredScalingPoint{
+			Workers: p, EpochSec: sec, Speedup: baseSec / sec, Loss: loss,
+		})
+	}
+
+	// Projected: the paper's exact workload on the Table 6 Azure spec.
+	out.ParamsNw = unet.New(unet.DefaultConfig(3)).ParamCount()
+	w := perfmodel.Figure9Workload(out.ParamsNw)
+	devices := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	out.Projected = perfmodel.ScalingSeries(perfmodel.Azure, w, devices, perfmodel.Azure.GPUsPerNode)
+	return out, nil
+}
+
+// FormatFigure9 renders both halves of the study.
+func FormatFigure9(r *Figure9Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: strong scaling, 3D DiffNet (GPU cluster)\n")
+	fmt.Fprintf(&b, "-- measured (goroutine workers + ring allreduce, this machine)\n")
+	fmt.Fprintf(&b, "%-9s %-12s %-9s\n", "workers", "epoch (s)", "speedup")
+	for _, p := range r.Measured {
+		fmt.Fprintf(&b, "%-9d %-12.3f %-9.2f\n", p.Workers, p.EpochSec, p.Speedup)
+	}
+	fmt.Fprintf(&b, "-- projected (Azure NDv2, 256^3, 1024 maps, N_w=%d)\n", r.ParamsNw)
+	fmt.Fprintf(&b, "%-9s %-7s %-12s %-9s\n", "GPUs", "nodes", "epoch (s)", "speedup")
+	for _, p := range r.Projected {
+		fmt.Fprintf(&b, "%-9d %-7d %-12.2f %-9.1f\n", p.Devices, p.Nodes, p.EpochSec, p.Speedup)
+	}
+	return b.String()
+}
+
+// Figure10Result is the CPU-cluster strong-scaling projection.
+type Figure10Result struct {
+	Projected []perfmodel.ScalingPoint
+	ParamsNw  int
+	MemoryGB  float64
+	FitsGPU   bool
+	FitsNode  bool
+}
+
+// Figure10 evaluates the Bridges2 model at the paper's 512³ workload for
+// 1..128 nodes (one MPI process per node) and reports the memory argument
+// for using CPU nodes at all.
+func Figure10(sc Scale) *Figure10Result {
+	nw := unet.New(unet.DefaultConfig(3)).ParamCount()
+	w := perfmodel.Figure10Workload(nw)
+	nodes := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	return &Figure10Result{
+		Projected: perfmodel.ScalingSeries(perfmodel.Bridges2, w, nodes, 1),
+		ParamsNw:  nw,
+		MemoryGB:  perfmodel.TrainMemoryGBPerDevice(w),
+		FitsGPU:   perfmodel.FitsOnGPU(perfmodel.Azure, w),
+		FitsNode:  perfmodel.FitsOnNode(perfmodel.Bridges2, w),
+	}
+}
+
+// FormatFigure10 renders the CPU scaling table.
+func FormatFigure10(r *Figure10Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: strong scaling, 512^3 DiffNet (Bridges2, 1 process/node)\n")
+	fmt.Fprintf(&b, "memory per node: %.0f GB (fits V100 32GB: %v, fits EPYC node 256GB: %v)\n",
+		r.MemoryGB, r.FitsGPU, r.FitsNode)
+	fmt.Fprintf(&b, "%-7s %-12s %-9s\n", "nodes", "epoch (s)", "speedup")
+	for _, p := range r.Projected {
+		fmt.Fprintf(&b, "%-7d %-12.1f %-9.1f\n", p.Devices, p.EpochSec, p.Speedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+// Package fem implements the finite-element machinery behind the paper's
+// variational loss (§3.1.1): bilinear/trilinear elements on uniform grids
+// over the unit square/cube, Gauss quadrature, the energy functional
+// J(u) = ½B(u,u) − L(u) for the generalized Poisson equation
+// −∇·(ν∇u) = 0, its matrix-free gradient (the stiffness apply K(ν)u), and
+// the exact Dirichlet boundary imposition of Algorithm 1.
+//
+// The problem solved throughout is the paper's Eq. 6–9: u = 1 on the x = 0
+// face, u = 0 on the x = 1 face, homogeneous Neumann elsewhere. With f = 0
+// and natural Neumann conditions the linear form L vanishes, so
+// J(u) = ½ ∫ ν |∇u|² dx, strictly positive and minimized by the solution.
+package fem
+
+import "math"
+
+// quad2D holds the bilinear basis and its reference gradients evaluated at
+// the 2×2 Gauss points. Local node order: (−,−), (+,−), (−,+), (+,+) in
+// (ξ, η), i.e. x varies fastest — matching the nodal gather order below.
+type quad2D struct {
+	n    [4][4]float64 // n[q][a]
+	dndx [4][4]float64 // reference dN/dξ
+	dndy [4][4]float64 // reference dN/dη
+}
+
+var q2 = buildQuad2D()
+
+func buildQuad2D() quad2D {
+	var q quad2D
+	signs := [4][2]float64{{-1, -1}, {1, -1}, {-1, 1}, {1, 1}}
+	g := 1.0 / math.Sqrt(3)
+	pts := [4][2]float64{{-g, -g}, {g, -g}, {-g, g}, {g, g}}
+	for qi, p := range pts {
+		xi, eta := p[0], p[1]
+		for a, s := range signs {
+			sx, sy := s[0], s[1]
+			q.n[qi][a] = 0.25 * (1 + sx*xi) * (1 + sy*eta)
+			q.dndx[qi][a] = 0.25 * sx * (1 + sy*eta)
+			q.dndy[qi][a] = 0.25 * (1 + sx*xi) * sy
+		}
+	}
+	return q
+}
+
+// quad3D holds the trilinear basis data at the 2×2×2 Gauss points. Local
+// node order: x fastest, then y, then z.
+type quad3D struct {
+	n    [8][8]float64
+	dndx [8][8]float64
+	dndy [8][8]float64
+	dndz [8][8]float64
+}
+
+var q3 = buildQuad3D()
+
+func buildQuad3D() quad3D {
+	var q quad3D
+	g := 1.0 / math.Sqrt(3)
+	for qi := 0; qi < 8; qi++ {
+		xi := g * float64(1-2*(qi&1))
+		eta := g * float64(1-2*((qi>>1)&1))
+		zeta := g * float64(1-2*((qi>>2)&1))
+		// Flip so that bit 0 set means +ξ, to mirror the 2D convention:
+		xi, eta, zeta = -xi, -eta, -zeta
+		for a := 0; a < 8; a++ {
+			sx := float64(2*(a&1) - 1)
+			sy := float64(2*((a>>1)&1) - 1)
+			sz := float64(2*((a>>2)&1) - 1)
+			q.n[qi][a] = 0.125 * (1 + sx*xi) * (1 + sy*eta) * (1 + sz*zeta)
+			q.dndx[qi][a] = 0.125 * sx * (1 + sy*eta) * (1 + sz*zeta)
+			q.dndy[qi][a] = 0.125 * (1 + sx*xi) * sy * (1 + sz*zeta)
+			q.dndz[qi][a] = 0.125 * (1 + sx*xi) * (1 + sy*eta) * sz
+		}
+	}
+	return q
+}

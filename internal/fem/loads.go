@@ -1,0 +1,253 @@
+package fem
+
+import (
+	"fmt"
+
+	"mgdiffnet/internal/sparse"
+	"mgdiffnet/internal/tensor"
+)
+
+// This file generalizes the hard-wired Eq. 6–9 instance to the paper's
+// abstract problem of Eq. 3–5: −∇·(ν∇u) = f with u = g on the Dirichlet
+// x-faces and ν ∂u/∂n = h on the Neumann y-faces. The defaults (f = 0,
+// h = 0, g = 1|x=0, 0|x=1) reproduce the training problem exactly; the
+// energy functional gains the linear form, J(u) = ½B(u,u) − L(u), where
+// L(v) = ∫ f v dx + ∫_ΓN h v ds.
+
+// SetForcing installs a nodal source field f of shape [R, R] (nil clears
+// it). The load vector uses bilinear interpolation of f per element.
+func (p *Problem2D) SetForcing(f *tensor.Tensor) {
+	if f != nil && (f.Rank() != 2 || f.Dim(0) != p.Res || f.Dim(1) != p.Res) {
+		panic(fmt.Sprintf("fem: forcing shape %v does not match res %d", f.Shape(), p.Res))
+	}
+	p.forcing = f
+	p.load = nil
+}
+
+// SetNeumannFlux installs boundary fluxes h on the y = 0 and y = 1 faces,
+// one value per boundary node (length R each; nil clears). Signs follow the
+// outward normal convention: h is ν ∂u/∂n.
+func (p *Problem2D) SetNeumannFlux(y0, y1 []float64) {
+	if (y0 != nil && len(y0) != p.Res) || (y1 != nil && len(y1) != p.Res) {
+		panic("fem: Neumann flux arrays must have length Res")
+	}
+	p.fluxY0 = y0
+	p.fluxY1 = y1
+	p.load = nil
+}
+
+// SetDirichlet installs nodal boundary values g on the x = 0 and x = 1
+// faces (length R each; nil restores the Eq. 7–8 defaults g = 1 and g = 0).
+func (p *Problem2D) SetDirichlet(left, right []float64) {
+	if (left != nil && len(left) != p.Res) || (right != nil && len(right) != p.Res) {
+		panic("fem: Dirichlet value arrays must have length Res")
+	}
+	p.gLeft = left
+	p.gRight = right
+}
+
+// dirichletLeft / dirichletRight return the boundary values at row iy.
+func (p *Problem2D) dirichletLeft(iy int) float64 {
+	if p.gLeft != nil {
+		return p.gLeft[iy]
+	}
+	return 1
+}
+
+func (p *Problem2D) dirichletRight(iy int) float64 {
+	if p.gRight != nil {
+		return p.gRight[iy]
+	}
+	return 0
+}
+
+// LoadVector assembles (and caches) the consistent load L with
+// L_i = ∫ f φ_i dx + ∫_ΓN h φ_i ds. It is zero when no loads are set.
+func (p *Problem2D) LoadVector() *tensor.Tensor {
+	if p.load != nil {
+		return p.load
+	}
+	r := p.Res
+	L := tensor.New(r, r)
+	if p.forcing != nil {
+		fd := p.forcing.Data
+		ne := r - 1
+		for ey := 0; ey < ne; ey++ {
+			for ex := 0; ex < ne; ex++ {
+				i00 := ey*r + ex
+				nodes := [4]int{i00, i00 + 1, i00 + r, i00 + r + 1}
+				var fe [4]float64
+				for a, idx := range nodes {
+					fe[a] = fd[idx]
+				}
+				for q := 0; q < 4; q++ {
+					fq := 0.0
+					for a := 0; a < 4; a++ {
+						fq += q2.n[q][a] * fe[a]
+					}
+					w := p.detJ * fq
+					for a, idx := range nodes {
+						L.Data[idx] += w * q2.n[q][a]
+					}
+				}
+			}
+		}
+	}
+	// Boundary flux: consistent load of a linear h over each edge of
+	// length hx: L_i += hx/6·(2h_i + h_j), exact for linear h.
+	hx := p.h
+	addEdge := func(flux []float64, row int) {
+		if flux == nil {
+			return
+		}
+		for ex := 0; ex < r-1; ex++ {
+			hi, hj := flux[ex], flux[ex+1]
+			L.Data[row+ex] += hx / 6 * (2*hi + hj)
+			L.Data[row+ex+1] += hx / 6 * (hi + 2*hj)
+		}
+	}
+	addEdge(p.fluxY0, 0)
+	addEdge(p.fluxY1, (r-1)*r)
+	p.load = L
+	return L
+}
+
+// TotalEnergy evaluates the full functional J(u) = ½B(u,u) − L(u). With no
+// loads installed it coincides with Energy.
+func (p *Problem2D) TotalEnergy(u, nu *tensor.Tensor) float64 {
+	j := p.Energy(u, nu)
+	if p.forcing == nil && p.fluxY0 == nil && p.fluxY1 == nil {
+		return j
+	}
+	return j - p.LoadVector().Dot(u)
+}
+
+// AddTotalEnergyGrad accumulates ∇J = K(ν)u − L into g.
+func (p *Problem2D) AddTotalEnergyGrad(u, nu, g *tensor.Tensor) {
+	p.AddEnergyGrad(u, nu, g)
+	if p.forcing == nil && p.fluxY0 == nil && p.fluxY1 == nil {
+		return
+	}
+	g.Sub(p.LoadVector())
+}
+
+// SolveGeneral2D solves the generalized problem with p's installed loads
+// and Dirichlet data by CG on the interior, returning the solution field.
+func SolveGeneral2D(p *Problem2D, nu *tensor.Tensor, tol float64, maxIter int) (*tensor.Tensor, sparse.CGResult) {
+	res := p.Res
+	u0 := p.BoundaryField()
+
+	n := res * res
+	op := sparse.OpFunc{N: n, F: func(y, x []float64) {
+		xt := tensor.FromSlice(x, res, res)
+		yt := tensor.FromSlice(y, res, res)
+		p.Apply(xt, nu, yt)
+		p.MaskInterior(yt)
+	}}
+
+	// b = L − K u₀ on the interior.
+	b := tensor.New(res, res)
+	p.Apply(u0, nu, b)
+	b.Scale(-1)
+	b.Add(p.LoadVector())
+	p.MaskInterior(b)
+
+	w := make([]float64, n)
+	cg := sparse.CG(op, b.Data, w, tol, maxIter)
+
+	u := u0.Clone()
+	for i := range u.Data {
+		u.Data[i] += w[i]
+	}
+	return u, cg
+}
+
+// SetForcing3D installs a nodal source field of shape [R, R, R] on the 3D
+// problem (nil clears).
+func (p *Problem3D) SetForcing(f *tensor.Tensor) {
+	if f != nil && (f.Rank() != 3 || f.Dim(0) != p.Res) {
+		panic(fmt.Sprintf("fem: forcing shape %v does not match res %d", f.Shape(), p.Res))
+	}
+	p.forcing = f
+	p.load = nil
+}
+
+// LoadVector assembles the 3D consistent forcing load (Neumann loads are
+// zero in the 3D training problem and are not modeled here).
+func (p *Problem3D) LoadVector() *tensor.Tensor {
+	if p.load != nil {
+		return p.load
+	}
+	r := p.Res
+	L := tensor.New(r, r, r)
+	if p.forcing != nil {
+		fd := p.forcing.Data
+		ne := r - 1
+		for ez := 0; ez < ne; ez++ {
+			for ey := 0; ey < ne; ey++ {
+				for ex := 0; ex < ne; ex++ {
+					base := (ez*r+ey)*r + ex
+					nodes := [8]int{
+						base, base + 1, base + r, base + r + 1,
+						base + r*r, base + r*r + 1, base + r*r + r, base + r*r + r + 1,
+					}
+					var fe [8]float64
+					for a, idx := range nodes {
+						fe[a] = fd[idx]
+					}
+					for q := 0; q < 8; q++ {
+						fq := 0.0
+						for a := 0; a < 8; a++ {
+							fq += q3.n[q][a] * fe[a]
+						}
+						w := p.detJ * fq
+						for a, idx := range nodes {
+							L.Data[idx] += w * q3.n[q][a]
+						}
+					}
+				}
+			}
+		}
+	}
+	p.load = L
+	return L
+}
+
+// TotalEnergy evaluates J(u) = ½B(u,u) − L(u) in 3D.
+func (p *Problem3D) TotalEnergy(u, nu *tensor.Tensor) float64 {
+	j := p.Energy(u, nu)
+	if p.forcing == nil {
+		return j
+	}
+	return j - p.LoadVector().Dot(u)
+}
+
+// SolveGeneral3D solves the 3D problem with p's installed forcing.
+func SolveGeneral3D(p *Problem3D, nu *tensor.Tensor, tol float64, maxIter int) (*tensor.Tensor, sparse.CGResult) {
+	res := p.Res
+	u0 := p.BoundaryField()
+	n := res * res * res
+	op := sparse.OpFunc{N: n, F: func(y, x []float64) {
+		xt := tensor.FromSlice(x, res, res, res)
+		yt := tensor.FromSlice(y, res, res, res)
+		p.Apply(xt, nu, yt)
+		p.MaskInterior(yt)
+	}}
+
+	b := tensor.New(res, res, res)
+	p.Apply(u0, nu, b)
+	b.Scale(-1)
+	if p.forcing != nil {
+		b.Add(p.LoadVector())
+	}
+	p.MaskInterior(b)
+
+	w := make([]float64, n)
+	cg := sparse.CG(op, b.Data, w, tol, maxIter)
+
+	u := u0.Clone()
+	for i := range u.Data {
+		u.Data[i] += w[i]
+	}
+	return u, cg
+}

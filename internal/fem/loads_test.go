@@ -1,0 +1,244 @@
+package fem
+
+import (
+	"math"
+	"testing"
+
+	"mgdiffnet/internal/tensor"
+)
+
+// Manufactured solution for the forced problem with ν ≡ 1:
+//
+//	u*(x, y) = 1 − x + sin(πx)·(1 − cos(2πy))/2
+//
+// satisfies u*(0,y) = 1, u*(1,y) = 0 and ∂u*/∂y = 0 on the y-faces
+// (homogeneous Neumann), with f = −Δu* = π²·s·g − 2π²·s·cos(2πy), where
+// s = sin(πx) and g = (1 − cos(2πy))/2.
+func manufactured(x, y float64) float64 {
+	return 1 - x + math.Sin(math.Pi*x)*(1-math.Cos(2*math.Pi*y))/2
+}
+
+func manufacturedForcing(x, y float64) float64 {
+	s := math.Sin(math.Pi * x)
+	g := (1 - math.Cos(2*math.Pi*y)) / 2
+	return math.Pi*math.Pi*s*g - 2*math.Pi*math.Pi*s*math.Cos(2*math.Pi*y)
+}
+
+func manufacturedGrid(res int) (uStar, f *tensor.Tensor) {
+	uStar = tensor.New(res, res)
+	f = tensor.New(res, res)
+	h := 1.0 / float64(res-1)
+	for iy := 0; iy < res; iy++ {
+		for ix := 0; ix < res; ix++ {
+			x, y := float64(ix)*h, float64(iy)*h
+			uStar.Data[iy*res+ix] = manufactured(x, y)
+			f.Data[iy*res+ix] = manufacturedForcing(x, y)
+		}
+	}
+	return uStar, f
+}
+
+func TestForcedSolveMatchesManufactured(t *testing.T) {
+	const res = 33
+	p := NewPoisson2D(res)
+	uStar, f := manufacturedGrid(res)
+	p.SetForcing(f)
+	nu := tensor.Full(1, res, res)
+	u, cg := SolveGeneral2D(p, nu, 1e-11, 20000)
+	if !cg.Converged {
+		t.Fatalf("CG failed: %+v", cg)
+	}
+	if d := u.RMSE(uStar); d > 5e-3 {
+		t.Fatalf("manufactured solution RMSE %v", d)
+	}
+}
+
+// The discretization error of bilinear elements is O(h²): refining the
+// grid by 2 must cut the error by ≈4.
+func TestForcedSolveSecondOrderConvergence(t *testing.T) {
+	var errs []float64
+	for _, res := range []int{9, 17, 33} {
+		p := NewPoisson2D(res)
+		uStar, f := manufacturedGrid(res)
+		p.SetForcing(f)
+		nu := tensor.Full(1, res, res)
+		u, cg := SolveGeneral2D(p, nu, 1e-12, 50000)
+		if !cg.Converged {
+			t.Fatalf("res %d CG failed", res)
+		}
+		errs = append(errs, u.RMSE(uStar))
+	}
+	for i := 1; i < len(errs); i++ {
+		rate := errs[i-1] / errs[i]
+		if rate < 3.0 {
+			t.Fatalf("convergence rate %v at refinement %d (want ≈4): errors %v", rate, i, errs)
+		}
+	}
+}
+
+// Constant Neumann flux with matching general Dirichlet data: the exact
+// solution of −Δu = 0 with u(0,y) = 1 + cy, u(1,y) = cy, ∂u/∂n = ∓c on the
+// y-faces is u = 1 − x + cy (a bilinear function, exactly representable).
+func TestNeumannFluxWithGeneralDirichlet(t *testing.T) {
+	const res = 17
+	const c = 0.5
+	p := NewPoisson2D(res)
+	gl := make([]float64, res)
+	gr := make([]float64, res)
+	h0 := make([]float64, res)
+	h1 := make([]float64, res)
+	h := 1.0 / float64(res-1)
+	for iy := 0; iy < res; iy++ {
+		y := float64(iy) * h
+		gl[iy] = 1 + c*y
+		gr[iy] = c * y
+	}
+	for ix := 0; ix < res; ix++ {
+		h0[ix] = -c // outward normal at y=0 is −ŷ: ∂u/∂n = −c
+		h1[ix] = c
+	}
+	p.SetDirichlet(gl, gr)
+	p.SetNeumannFlux(h0, h1)
+	nu := tensor.Full(1, res, res)
+	u, cg := SolveGeneral2D(p, nu, 1e-12, 20000)
+	if !cg.Converged {
+		t.Fatalf("CG failed: %+v", cg)
+	}
+	for iy := 0; iy < res; iy++ {
+		for ix := 0; ix < res; ix++ {
+			want := 1 - float64(ix)*h + c*float64(iy)*h
+			if math.Abs(u.At(iy, ix)-want) > 1e-8 {
+				t.Fatalf("u(%d,%d)=%v want %v", iy, ix, u.At(iy, ix), want)
+			}
+		}
+	}
+}
+
+func TestGeneralDirichletConstant(t *testing.T) {
+	// g_left = 2, g_right = 1, no loads: u = 2 − x exactly.
+	const res = 9
+	p := NewPoisson2D(res)
+	gl := make([]float64, res)
+	gr := make([]float64, res)
+	for i := range gl {
+		gl[i], gr[i] = 2, 1
+	}
+	p.SetDirichlet(gl, gr)
+	nu := tensor.Full(3, res, res)
+	u, cg := SolveGeneral2D(p, nu, 1e-12, 5000)
+	if !cg.Converged {
+		t.Fatal("CG failed")
+	}
+	h := 1.0 / float64(res-1)
+	for iy := 0; iy < res; iy++ {
+		for ix := 0; ix < res; ix++ {
+			want := 2 - float64(ix)*h
+			if math.Abs(u.At(iy, ix)-want) > 1e-9 {
+				t.Fatalf("u(%d,%d)=%v want %v", iy, ix, u.At(iy, ix), want)
+			}
+		}
+	}
+}
+
+func TestDefaultsUnchangedWithoutLoads(t *testing.T) {
+	// SolveGeneral2D with no loads must agree with Solve2D exactly.
+	const res = 17
+	nu := tensor.Full(1, res, res)
+	for i := range nu.Data {
+		nu.Data[i] = 1 + 0.5*math.Sin(float64(i))
+	}
+	p := NewPoisson2D(res)
+	uGen, _ := SolveGeneral2D(p, nu, 1e-11, 20000)
+	uStd, _ := Solve2D(nu, 1e-11, 20000)
+	if d := uGen.RMSE(uStd); d > 1e-9 {
+		t.Fatalf("general path diverges from default solve: %v", d)
+	}
+	// TotalEnergy degenerates to Energy.
+	if p.TotalEnergy(uGen, nu) != p.Energy(uGen, nu) {
+		t.Fatal("TotalEnergy must equal Energy without loads")
+	}
+}
+
+func TestTotalEnergyGradMatchesFiniteDifference(t *testing.T) {
+	const res = 7
+	p := NewPoisson2D(res)
+	uStar, f := manufacturedGrid(res)
+	p.SetForcing(f)
+	flux := make([]float64, res)
+	for i := range flux {
+		flux[i] = 0.3 * float64(i)
+	}
+	p.SetNeumannFlux(flux, nil)
+	nu := tensor.Full(1, res, res)
+
+	u := uStar.Clone()
+	g := tensor.New(res, res)
+	p.AddTotalEnergyGrad(u, nu, g)
+	const eps = 1e-6
+	for i := 0; i < res*res; i += 3 {
+		orig := u.Data[i]
+		u.Data[i] = orig + eps
+		jp := p.TotalEnergy(u, nu)
+		u.Data[i] = orig - eps
+		jm := p.TotalEnergy(u, nu)
+		u.Data[i] = orig
+		num := (jp - jm) / (2 * eps)
+		if math.Abs(num-g.Data[i]) > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("grad[%d]: analytic %v numeric %v", i, g.Data[i], num)
+		}
+	}
+}
+
+func TestForcedSolve3D(t *testing.T) {
+	// 3D manufactured: u* = 1 − x + sin(πx)·(1−cos(2πy))/2·(1−cos(2πz))/2
+	// with matching f = −Δu*; check the solve lands near u*.
+	const res = 9
+	p := NewPoisson3D(res)
+	h := 1.0 / float64(res-1)
+	uStar := tensor.New(res, res, res)
+	f := tensor.New(res, res, res)
+	for iz := 0; iz < res; iz++ {
+		for iy := 0; iy < res; iy++ {
+			for ix := 0; ix < res; ix++ {
+				x, y, z := float64(ix)*h, float64(iy)*h, float64(iz)*h
+				s := math.Sin(math.Pi * x)
+				gy := (1 - math.Cos(2*math.Pi*y)) / 2
+				gz := (1 - math.Cos(2*math.Pi*z)) / 2
+				uStar.Data[(iz*res+iy)*res+ix] = 1 - x + s*gy*gz
+				// −Δu* = π² s gy gz − s·(2π² cos2πy)·gz − s·gy·(2π² cos2πz)
+				lap := -math.Pi*math.Pi*s*gy*gz +
+					s*2*math.Pi*math.Pi*math.Cos(2*math.Pi*y)*gz +
+					s*gy*2*math.Pi*math.Pi*math.Cos(2*math.Pi*z)
+				f.Data[(iz*res+iy)*res+ix] = -lap
+			}
+		}
+	}
+	p.SetForcing(f)
+	nu := tensor.Full(1, res, res, res)
+	u, cg := SolveGeneral3D(p, nu, 1e-11, 20000)
+	if !cg.Converged {
+		t.Fatalf("3D CG failed: %+v", cg)
+	}
+	if d := u.RMSE(uStar); d > 0.05 {
+		t.Fatalf("3D manufactured RMSE %v", d)
+	}
+}
+
+func TestLoadSettersValidate(t *testing.T) {
+	p := NewPoisson2D(8)
+	for name, f := range map[string]func(){
+		"forcing shape": func() { p.SetForcing(tensor.New(4, 4)) },
+		"flux length":   func() { p.SetNeumannFlux(make([]float64, 3), nil) },
+		"dirichlet len": func() { p.SetDirichlet(make([]float64, 3), nil) },
+		"forcing3d":     func() { NewPoisson3D(8).SetForcing(tensor.New(4, 4, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

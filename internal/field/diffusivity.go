@@ -1,0 +1,164 @@
+package field
+
+import (
+	"fmt"
+	"math"
+
+	"mgdiffnet/internal/tensor"
+)
+
+// The paper's fixed spectral data for Eq. 10: a = (1.72, 4.05, 6.85, 9.82),
+// λ_i = 1/(1+0.25 a_i²), and the separable eigenfunction
+// ξ_i(t) = (a_i/2)·cos(a_i t) + sin(a_i t) used in x, y (and z in 3D).
+var (
+	// AValues are the frequencies a_i of Eq. 10.
+	AValues = [4]float64{1.72, 4.05, 6.85, 9.82}
+	// Lambdas are the decay coefficients λ_i of Eq. 10.
+	Lambdas [4]float64
+)
+
+func init() {
+	for i, a := range AValues {
+		Lambdas[i] = 1.0 / (1.0 + 0.25*a*a)
+	}
+}
+
+// OmegaDim is the dimension m of the parameter vector ω in the paper.
+const OmegaDim = 4
+
+// OmegaRange is the sampling range of each ω_i: [-OmegaRange, OmegaRange].
+const OmegaRange = 3.0
+
+// Omega is a parameter vector of the diffusivity family.
+type Omega [OmegaDim]float64
+
+// xi evaluates the separable eigenfunction ξ_i(t) = (a_i/2)cos(a_i t) + sin(a_i t).
+func xi(i int, t float64) float64 {
+	a := AValues[i]
+	return 0.5*a*math.Cos(a*t) + math.Sin(a*t)
+}
+
+// Eval2D evaluates ˜ν(x, y; ω) = exp(Σ ω_i λ_i ξ_i(x) η_i(y)) from Eq. 10.
+func Eval2D(omega Omega, x, y float64) float64 {
+	s := 0.0
+	for i := 0; i < OmegaDim; i++ {
+		s += omega[i] * Lambdas[i] * xi(i, x) * xi(i, y)
+	}
+	return math.Exp(s)
+}
+
+// Eval3D evaluates the natural 3D extension of Eq. 10 with a third
+// separable factor ζ_i(z) of the same form. The paper states the 3D
+// diffusivity maps are "as described by Equation 10" without writing the
+// extension; the separable product is the standard Karhunen–Loève-style
+// choice and preserves the 2D family on the z=const slices up to scaling.
+func Eval3D(omega Omega, x, y, z float64) float64 {
+	s := 0.0
+	for i := 0; i < OmegaDim; i++ {
+		s += omega[i] * Lambdas[i] * xi(i, x) * xi(i, y) * xi(i, z)
+	}
+	return math.Exp(s)
+}
+
+// Raster2D evaluates the diffusivity on an res×res nodal grid over [0,1]²
+// (nodes at i/(res-1)) and returns a [res, res] tensor indexed [y][x].
+func Raster2D(omega Omega, res int) *tensor.Tensor {
+	if res < 2 {
+		panic(fmt.Sprintf("field: Raster2D needs res >= 2, got %d", res))
+	}
+	out := tensor.New(res, res)
+	h := 1.0 / float64(res-1)
+	tensor.ParallelFor(res, func(iy int) {
+		y := float64(iy) * h
+		row := iy * res
+		for ix := 0; ix < res; ix++ {
+			out.Data[row+ix] = Eval2D(omega, float64(ix)*h, y)
+		}
+	})
+	return out
+}
+
+// Raster3D evaluates the diffusivity on an res³ nodal grid over [0,1]³ and
+// returns a [res, res, res] tensor indexed [z][y][x].
+func Raster3D(omega Omega, res int) *tensor.Tensor {
+	if res < 2 {
+		panic(fmt.Sprintf("field: Raster3D needs res >= 2, got %d", res))
+	}
+	out := tensor.New(res, res, res)
+	h := 1.0 / float64(res-1)
+	tensor.ParallelFor(res, func(iz int) {
+		z := float64(iz) * h
+		for iy := 0; iy < res; iy++ {
+			y := float64(iy) * h
+			row := (iz*res + iy) * res
+			for ix := 0; ix < res; ix++ {
+				out.Data[row+ix] = Eval3D(omega, float64(ix)*h, y, z)
+			}
+		}
+	})
+	return out
+}
+
+// SampleOmegas draws n parameter vectors from [-3,3]^4 with the Sobol
+// sequence, reproducing the paper's quasi-random coefficient sampling.
+// The all-zero first Sobol point (which maps to ω = -3·1) is included,
+// matching a plain scaled sequence.
+func SampleOmegas(n int) []Omega {
+	s := NewSobol(OmegaDim)
+	out := make([]Omega, n)
+	for k := 0; k < n; k++ {
+		p := s.Next()
+		var w Omega
+		for i := 0; i < OmegaDim; i++ {
+			w[i] = -OmegaRange + 2*OmegaRange*p[i]
+		}
+		out[k] = w
+	}
+	return out
+}
+
+// Dataset is a collection of parameter vectors with lazy rasterization at a
+// chosen resolution and dimensionality.
+type Dataset struct {
+	Omegas []Omega
+	Dim    int // 2 or 3
+}
+
+// NewDataset samples n Sobol parameter vectors for dim-dimensional fields.
+func NewDataset(n, dim int) *Dataset {
+	if dim != 2 && dim != 3 {
+		panic("field: Dataset dim must be 2 or 3")
+	}
+	return &Dataset{Omegas: SampleOmegas(n), Dim: dim}
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Omegas) }
+
+// Batch rasterizes samples [start, start+count) at the given resolution and
+// stacks them into a network input tensor: [count, 1, res, res] in 2D or
+// [count, 1, res, res, res] in 3D. Indices wrap around the dataset, which
+// implements the paper's dataset augmentation that makes the sample count
+// divisible by the worker count.
+func (d *Dataset) Batch(start, count, res int) *tensor.Tensor {
+	var out *tensor.Tensor
+	var per int
+	if d.Dim == 2 {
+		out = tensor.New(count, 1, res, res)
+		per = res * res
+	} else {
+		out = tensor.New(count, 1, res, res, res)
+		per = res * res * res
+	}
+	for k := 0; k < count; k++ {
+		w := d.Omegas[(start+k)%len(d.Omegas)]
+		var f *tensor.Tensor
+		if d.Dim == 2 {
+			f = Raster2D(w, res)
+		} else {
+			f = Raster3D(w, res)
+		}
+		copy(out.Data[k*per:(k+1)*per], f.Data)
+	}
+	return out
+}

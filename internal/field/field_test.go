@@ -1,0 +1,249 @@
+package field
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSobolFirstPointsDim1(t *testing.T) {
+	s := NewSobol(1)
+	// Van der Corput: 0, 1/2, 3/4, 1/4, 3/8, ...
+	want := []float64{0, 0.5, 0.75, 0.25, 0.375}
+	for i, w := range want {
+		p := s.Next()
+		if math.Abs(p[0]-w) > 1e-12 {
+			t.Fatalf("point %d = %v want %v", i, p[0], w)
+		}
+	}
+}
+
+func TestSobolInUnitCube(t *testing.T) {
+	s := NewSobol(4)
+	for i := 0; i < 4096; i++ {
+		p := s.Next()
+		for d, v := range p {
+			if v < 0 || v >= 1 {
+				t.Fatalf("point %d dim %d = %v out of [0,1)", i, d, v)
+			}
+		}
+	}
+}
+
+func TestSobolDeterministic(t *testing.T) {
+	a, b := NewSobol(4), NewSobol(4)
+	for i := 0; i < 100; i++ {
+		pa, pb := a.Next(), b.Next()
+		for d := range pa {
+			if pa[d] != pb[d] {
+				t.Fatalf("sequences diverge at %d dim %d", i, d)
+			}
+		}
+	}
+}
+
+// Low-discrepancy property: the first 2^k points of each 1D projection are
+// perfectly stratified — every dyadic interval [j/2^k, (j+1)/2^k) contains
+// exactly one point.
+func TestSobolStratification(t *testing.T) {
+	const k = 6
+	const n = 1 << k
+	s := NewSobol(4)
+	counts := make([][]int, 4)
+	for d := range counts {
+		counts[d] = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		p := s.Next()
+		for d, v := range p {
+			counts[d][int(v*float64(n))]++
+		}
+	}
+	for d := range counts {
+		for j, c := range counts[d] {
+			if c != 1 {
+				t.Fatalf("dim %d interval %d has %d points, want 1", d, j, c)
+			}
+		}
+	}
+}
+
+func TestSobolSkipEquivalence(t *testing.T) {
+	a, b := NewSobol(3), NewSobol(3)
+	a.Skip(17)
+	for i := 0; i < 17; i++ {
+		b.Next()
+	}
+	pa, pb := a.Next(), b.Next()
+	for d := range pa {
+		if pa[d] != pb[d] {
+			t.Fatal("Skip is not equivalent to repeated Next")
+		}
+	}
+}
+
+func TestSobolBadDimensionPanics(t *testing.T) {
+	for _, d := range []int{0, -1, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("dim %d: expected panic", d)
+				}
+			}()
+			NewSobol(d)
+		}()
+	}
+}
+
+func TestLambdasMatchPaper(t *testing.T) {
+	// λ_i = 1/(1+0.25 a_i²) for a = (1.72, 4.05, 6.85, 9.82).
+	want := []float64{
+		1 / (1 + 0.25*1.72*1.72),
+		1 / (1 + 0.25*4.05*4.05),
+		1 / (1 + 0.25*6.85*6.85),
+		1 / (1 + 0.25*9.82*9.82),
+	}
+	for i, w := range want {
+		if math.Abs(Lambdas[i]-w) > 1e-15 {
+			t.Fatalf("lambda[%d] = %v want %v", i, Lambdas[i], w)
+		}
+	}
+	// Must be monotonically decreasing, as the paper requires.
+	for i := 1; i < 4; i++ {
+		if Lambdas[i] >= Lambdas[i-1] {
+			t.Fatalf("lambdas not decreasing: %v", Lambdas)
+		}
+	}
+}
+
+func TestEval2DPositive(t *testing.T) {
+	f := func(w0, w1, w2, w3, x, y float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(math.Abs(v), 3)
+		}
+		om := Omega{clamp(w0), clamp(w1), clamp(w2), clamp(w3)}
+		v := Eval2D(om, math.Mod(math.Abs(clamp(x)), 1), math.Mod(math.Abs(clamp(y)), 1))
+		return v > 0 && !math.IsNaN(v) && !math.IsInf(v, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalZeroOmegaIsOne(t *testing.T) {
+	var w Omega
+	if v := Eval2D(w, 0.3, 0.7); v != 1 {
+		t.Fatalf("exp(0) should be 1, got %v", v)
+	}
+	if v := Eval3D(w, 0.1, 0.2, 0.3); v != 1 {
+		t.Fatalf("exp(0) should be 1 in 3D, got %v", v)
+	}
+}
+
+func TestRaster2DMatchesPointwiseEval(t *testing.T) {
+	w := Omega{0.3105, 1.5386, 0.0932, -1.2442} // ω from the paper's Table 3
+	const res = 17
+	f := Raster2D(w, res)
+	h := 1.0 / float64(res-1)
+	for iy := 0; iy < res; iy += 5 {
+		for ix := 0; ix < res; ix += 3 {
+			want := Eval2D(w, float64(ix)*h, float64(iy)*h)
+			if got := f.At(iy, ix); math.Abs(got-want) > 1e-14 {
+				t.Fatalf("raster(%d,%d)=%v want %v", iy, ix, got, want)
+			}
+		}
+	}
+}
+
+func TestRaster3DMatchesPointwiseEval(t *testing.T) {
+	w := Omega{0.6681, 1.5354, 0.7644, -2.9709}
+	const res = 9
+	f := Raster3D(w, res)
+	h := 1.0 / float64(res-1)
+	for iz := 0; iz < res; iz += 4 {
+		for iy := 0; iy < res; iy += 3 {
+			for ix := 0; ix < res; ix += 2 {
+				want := Eval3D(w, float64(ix)*h, float64(iy)*h, float64(iz)*h)
+				if got := f.At(iz, iy, ix); math.Abs(got-want) > 1e-14 {
+					t.Fatalf("raster(%d,%d,%d)=%v want %v", iz, iy, ix, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRasterBadResPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Raster2D(Omega{}, 1)
+}
+
+func TestSampleOmegasRange(t *testing.T) {
+	ws := SampleOmegas(512)
+	if len(ws) != 512 {
+		t.Fatalf("len=%d", len(ws))
+	}
+	for _, w := range ws {
+		for _, v := range w {
+			if v < -3 || v >= 3 {
+				t.Fatalf("omega %v out of [-3,3)", v)
+			}
+		}
+	}
+	// Sobol points must spread out: the per-dimension mean of many samples
+	// approaches the center of the range.
+	for d := 0; d < OmegaDim; d++ {
+		mean := 0.0
+		for _, w := range ws {
+			mean += w[d]
+		}
+		mean /= float64(len(ws))
+		if math.Abs(mean) > 0.1 {
+			t.Fatalf("dim %d mean %v too far from 0", d, mean)
+		}
+	}
+}
+
+func TestDatasetBatchShapesAndWrap(t *testing.T) {
+	ds := NewDataset(3, 2)
+	b := ds.Batch(0, 4, 8) // count 4 > len 3 exercises wrap-around
+	if b.Dim(0) != 4 || b.Dim(1) != 1 || b.Dim(2) != 8 || b.Dim(3) != 8 {
+		t.Fatalf("batch shape %v", b.Shape())
+	}
+	// Sample 3 wraps to sample 0.
+	for i := 0; i < 64; i++ {
+		if b.Data[3*64+i] != b.Data[i] {
+			t.Fatal("wrap-around sample mismatch")
+		}
+	}
+	ds3 := NewDataset(2, 3)
+	b3 := ds3.Batch(1, 2, 4)
+	if b3.Rank() != 5 || b3.Dim(2) != 4 {
+		t.Fatalf("3d batch shape %v", b3.Shape())
+	}
+}
+
+func TestDatasetDeterministic(t *testing.T) {
+	a := NewDataset(8, 2).Batch(0, 2, 8)
+	b := NewDataset(8, 2).Batch(0, 2, 8)
+	if a.RMSE(b) != 0 {
+		t.Fatal("dataset generation must be deterministic")
+	}
+}
+
+func TestDiffusivityVariesWithOmega(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w1 := Omega{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+	w2 := Omega{-1, 2, -2, 1}
+	f1, f2 := Raster2D(w1, 16), Raster2D(w2, 16)
+	if f1.RMSE(f2) < 1e-6 {
+		t.Fatal("different omegas must give different fields")
+	}
+}

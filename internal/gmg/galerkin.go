@@ -1,0 +1,75 @@
+package gmg
+
+import "mgdiffnet/internal/sparse"
+
+// galerkinCoarse2D forms the variational (Galerkin) coarse operator
+// A_c = Pᵀ A_f P for a fine grid of rf×rf nodes, where P is the bilinear
+// prolongation of transfer.go. Every fine node has at most four coarse
+// parents with weights {1}, {½,½} or {¼,¼,¼,¼}, so the triple product is
+// assembled directly from A_f's nonzeros without explicit sparse matrix
+// multiplication. Coarse Dirichlet rows (the x-faces) are reset to the
+// identity afterwards, matching the rediscretized operators.
+func galerkinCoarse2D(af *sparse.CSR, rf int) *sparse.CSR {
+	rc := (rf + 1) / 2
+	coo := sparse.NewCOO(rc * rc)
+
+	// parents returns the coarse parents of fine node (fy, fx) and their
+	// prolongation weights.
+	parents := func(fy, fx int) ([4]int, [4]float64, int) {
+		var idx [4]int
+		var wgt [4]float64
+		cy, cx := fy/2, fx/2
+		oy, ox := fy%2, fx%2
+		n := 0
+		for dy := 0; dy <= oy; dy++ {
+			for dx := 0; dx <= ox; dx++ {
+				idx[n] = (cy+dy)*rc + (cx + dx)
+				wgt[n] = 1.0 / float64((oy+1)*(ox+1))
+				n++
+			}
+		}
+		return idx, wgt, n
+	}
+
+	isDirichletCoarse := func(idx int) bool {
+		cx := idx % rc
+		return cx == 0 || cx == rc-1
+	}
+
+	for fi := 0; fi < rf*rf; fi++ {
+		fy, fx := fi/rf, fi%rf
+		if fx == 0 || fx == rf-1 {
+			// Fine Dirichlet rows are identity rows in the assembled
+			// system; excluding them keeps the coarse correction
+			// equation purely interior.
+			continue
+		}
+		pi, wi, ni := parents(fy, fx)
+		for k := af.RowPtr[fi]; k < af.RowPtr[fi+1]; k++ {
+			fj := int(af.Col[k])
+			a := af.Val[k]
+			jy, jx := fj/rf, fj%rf
+			if jx == 0 || jx == rf-1 {
+				continue
+			}
+			pj, wj, nj := parents(jy, jx)
+			for x := 0; x < ni; x++ {
+				if isDirichletCoarse(pi[x]) {
+					continue
+				}
+				for y := 0; y < nj; y++ {
+					if isDirichletCoarse(pj[y]) {
+						continue
+					}
+					coo.Add(pi[x], pj[y], wi[x]*a*wj[y])
+				}
+			}
+		}
+	}
+	for idx := 0; idx < rc*rc; idx++ {
+		if isDirichletCoarse(idx) {
+			coo.Add(idx, idx, 1)
+		}
+	}
+	return coo.ToCSR()
+}

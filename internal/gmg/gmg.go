@@ -1,0 +1,311 @@
+package gmg
+
+import (
+	"fmt"
+	"math"
+
+	"mgdiffnet/internal/fem"
+	"mgdiffnet/internal/sparse"
+	"mgdiffnet/internal/tensor"
+)
+
+// CycleType selects the grid schedule, mirroring Figure 3 of the paper.
+type CycleType int
+
+// The four cycle types studied in the paper.
+const (
+	VCycle CycleType = iota
+	WCycle
+	FCycle
+	HalfVCycle
+)
+
+// String implements fmt.Stringer.
+func (c CycleType) String() string {
+	switch c {
+	case VCycle:
+		return "V"
+	case WCycle:
+		return "W"
+	case FCycle:
+		return "F"
+	case HalfVCycle:
+		return "Half-V"
+	default:
+		return fmt.Sprintf("CycleType(%d)", int(c))
+	}
+}
+
+// Options configures a multigrid solve.
+type Options struct {
+	// Cycle is the grid schedule (default V).
+	Cycle CycleType
+	// Levels caps the hierarchy depth; 0 means coarsen until ~5 nodes/dim.
+	Levels int
+	// PreSmooth / PostSmooth are Gauss–Seidel sweep counts (defaults 2/2).
+	// The Half-V cycle ignores PreSmooth by definition.
+	PreSmooth, PostSmooth int
+	// Tol is the relative residual target (default 1e-8).
+	Tol float64
+	// MaxCycles bounds the outer iteration (default 50).
+	MaxCycles int
+	// Galerkin builds coarse operators variationally (A_c = PᵀA P)
+	// instead of rediscretizing the FEM stiffness on the coarse grid.
+	// 2D only; the two choices agree closely for smooth ν.
+	Galerkin bool
+}
+
+func (o *Options) defaults() {
+	if o.PreSmooth == 0 {
+		o.PreSmooth = 2
+	}
+	if o.PostSmooth == 0 {
+		o.PostSmooth = 2
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-8
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 50
+	}
+}
+
+// Stats reports the outcome of a multigrid solve.
+type Stats struct {
+	Cycles    int
+	Residual  float64 // final relative residual
+	Converged bool
+	Levels    int
+}
+
+// level is one rung of the grid hierarchy.
+type level struct {
+	res int
+	a   *sparse.CSR
+	b   []float64 // finest level only: assembled RHS with BC lifting
+}
+
+// Solver solves K(ν)u = b with geometric multigrid in 2 or 3 dimensions.
+type Solver struct {
+	Dim    int
+	Opt    Options
+	levels []*level
+}
+
+// NewSolver2D builds the hierarchy for a nodal diffusivity field of shape
+// [R, R]; R must be 2^k+1 for exact nested coarsening.
+func NewSolver2D(nu *tensor.Tensor, opt Options) *Solver {
+	opt.defaults()
+	res := nu.Dim(0)
+	checkGridRes(res)
+	s := &Solver{Dim: 2, Opt: opt}
+	cur := nu
+	for {
+		curRes := cur.Dim(0)
+		var lv *level
+		if opt.Galerkin && len(s.levels) > 0 {
+			prev := s.levels[len(s.levels)-1]
+			lv = &level{res: curRes, a: galerkinCoarse2D(prev.a, prev.res)}
+		} else {
+			p := fem.NewPoisson2D(curRes)
+			a, b := fem.Assemble2D(p, cur)
+			lv = &level{res: curRes, a: a}
+			if len(s.levels) == 0 {
+				lv.b = b
+			}
+		}
+		s.levels = append(s.levels, lv)
+		if done(len(s.levels), curRes, opt.Levels) {
+			break
+		}
+		cur = inject2D(cur)
+	}
+	return s
+}
+
+// NewSolver3D builds the hierarchy for a nodal diffusivity field of shape
+// [R, R, R]; R must be 2^k+1.
+func NewSolver3D(nu *tensor.Tensor, opt Options) *Solver {
+	opt.defaults()
+	res := nu.Dim(0)
+	checkGridRes(res)
+	s := &Solver{Dim: 3, Opt: opt}
+	cur := nu
+	for {
+		p := fem.NewPoisson3D(cur.Dim(0))
+		a, b := fem.Assemble3D(p, cur)
+		lv := &level{res: cur.Dim(0), a: a}
+		if len(s.levels) == 0 {
+			lv.b = b
+		}
+		s.levels = append(s.levels, lv)
+		if done(len(s.levels), cur.Dim(0), opt.Levels) {
+			break
+		}
+		cur = inject3D(cur)
+	}
+	return s
+}
+
+func checkGridRes(res int) {
+	n := res - 1
+	if res < 3 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("gmg: resolution must be 2^k+1 with k>=1, got %d", res))
+	}
+}
+
+func done(nLevels, res, maxLevels int) bool {
+	if maxLevels > 0 && nLevels >= maxLevels {
+		return true
+	}
+	return (res+1)/2 < 5 // next level would be tiny
+}
+
+// NumLevels returns the hierarchy depth.
+func (s *Solver) NumLevels() int { return len(s.levels) }
+
+// Solve runs multigrid cycles until convergence and returns the solution
+// field ([R,R] or [R,R,R]) plus statistics.
+func (s *Solver) Solve() (*tensor.Tensor, Stats) {
+	top := s.levels[0]
+	n := top.a.Size()
+	x := make([]float64, n)
+	// Start from the Dirichlet-consistent zero guess: identity rows of the
+	// assembled system pin the boundary after the first smoothing pass, but
+	// setting them now keeps the initial residual meaningful.
+	s.seedBC(x, top.res)
+
+	b := top.b
+	bn := norm2(b)
+	if bn == 0 {
+		bn = 1
+	}
+	r := make([]float64, n)
+	st := Stats{Levels: len(s.levels)}
+	for c := 0; c < s.Opt.MaxCycles; c++ {
+		s.cycle(0, b, x, s.Opt.Cycle, true)
+		st.Cycles = c + 1
+		top.a.Apply(r, x)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		st.Residual = norm2(r) / bn
+		if st.Residual <= s.Opt.Tol {
+			st.Converged = true
+			break
+		}
+	}
+	var u *tensor.Tensor
+	if s.Dim == 2 {
+		u = tensor.FromSlice(x, top.res, top.res)
+	} else {
+		u = tensor.FromSlice(x, top.res, top.res, top.res)
+	}
+	return u, st
+}
+
+func (s *Solver) seedBC(x []float64, res int) {
+	if s.Dim == 2 {
+		for iy := 0; iy < res; iy++ {
+			x[iy*res] = 1
+		}
+		return
+	}
+	for iz := 0; iz < res; iz++ {
+		for iy := 0; iy < res; iy++ {
+			x[(iz*res+iy)*res] = 1
+		}
+	}
+}
+
+// cycle performs one multigrid cycle of the requested type at the given
+// level. firstDescent distinguishes the F-cycle's initial descent and the
+// Half-V cycle's smoothing-free restriction phase.
+func (s *Solver) cycle(lv int, b, x []float64, ct CycleType, firstDescent bool) {
+	l := s.levels[lv]
+	if lv == len(s.levels)-1 {
+		// Coarsest grid: solve (nearly) exactly.
+		sparse.CG(l.a, b, x, 1e-12, 4*l.a.Size())
+		return
+	}
+
+	preSweeps := s.Opt.PreSmooth
+	if ct == HalfVCycle && firstDescent {
+		// "No smoothing is done before the coarsest grid layer."
+		preSweeps = 0
+	}
+	if preSweeps > 0 {
+		sparse.GaussSeidel(l.a, b, x, preSweeps)
+	}
+
+	// Residual and its restriction.
+	n := l.a.Size()
+	r := make([]float64, n)
+	l.a.Apply(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	s.maskDirichlet(r, l.res)
+	rc := s.restrict(r, l.res)
+	s.maskDirichlet(rc, s.levels[lv+1].res)
+
+	ec := make([]float64, len(rc))
+	switch ct {
+	case WCycle:
+		s.cycle(lv+1, rc, ec, WCycle, firstDescent)
+		s.cycle(lv+1, rc, ec, WCycle, false)
+	case FCycle:
+		s.cycle(lv+1, rc, ec, FCycle, firstDescent)
+		s.cycle(lv+1, rc, ec, VCycle, false)
+	default: // V and Half-V recurse once
+		s.cycle(lv+1, rc, ec, ct, firstDescent)
+	}
+
+	e := s.prolong(ec, s.levels[lv+1].res)
+	s.maskDirichlet(e, l.res)
+	for i := range x {
+		x[i] += e[i]
+	}
+	sparse.GaussSeidel(l.a, b, x, s.Opt.PostSmooth)
+}
+
+func (s *Solver) restrict(r []float64, res int) []float64 {
+	if s.Dim == 2 {
+		return restrict2D(tensor.FromSlice(r, res, res)).Data
+	}
+	return restrict3D(tensor.FromSlice(r, res, res, res)).Data
+}
+
+func (s *Solver) prolong(e []float64, res int) []float64 {
+	if s.Dim == 2 {
+		return prolong2D(tensor.FromSlice(e, res, res)).Data
+	}
+	return prolong3D(tensor.FromSlice(e, res, res, res)).Data
+}
+
+// maskDirichlet zeroes the x-face entries (ix = 0 and ix = res−1), where
+// corrections must vanish.
+func (s *Solver) maskDirichlet(v []float64, res int) {
+	if s.Dim == 2 {
+		for iy := 0; iy < res; iy++ {
+			v[iy*res] = 0
+			v[iy*res+res-1] = 0
+		}
+		return
+	}
+	for iz := 0; iz < res; iz++ {
+		for iy := 0; iy < res; iy++ {
+			row := (iz*res + iy) * res
+			v[row] = 0
+			v[row+res-1] = 0
+		}
+	}
+}
+
+func norm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"math"
+
+	"mgdiffnet/internal/tensor"
+)
+
+// LeakyReLU is the pointwise activation max(x, alpha*x) used in all
+// intermediate layers of the paper's U-Net.
+type LeakyReLU struct {
+	Alpha float64
+	in    *tensor.Tensor
+}
+
+// NewLeakyReLU returns a LeakyReLU with the given negative slope.
+func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
+
+// Forward implements Layer.
+func (l *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		l.in = x
+	}
+	out := tensor.New(x.Shape()...)
+	a := l.Alpha
+	tensor.ParallelRange(x.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := x.Data[i]
+			if v < 0 {
+				v *= a
+			}
+			out.Data[i] = v
+		}
+	})
+	return out
+}
+
+// Backward implements Layer.
+func (l *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	a := l.Alpha
+	in := l.in
+	tensor.ParallelRange(grad.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g := grad.Data[i]
+			if in.Data[i] < 0 {
+				g *= a
+			}
+			out.Data[i] = g
+		}
+	})
+	return out
+}
+
+// Params implements Layer.
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation used on the paper's final layer so the
+// predicted solution field lies in (0, 1), matching the Dirichlet data.
+type Sigmoid struct {
+	out *tensor.Tensor
+}
+
+// NewSigmoid returns a Sigmoid layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	tensor.ParallelRange(x.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = 1.0 / (1.0 + math.Exp(-x.Data[i]))
+		}
+	})
+	if train {
+		s.out = out
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	y := s.out
+	tensor.ParallelRange(grad.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := y.Data[i]
+			out.Data[i] = grad.Data[i] * v * (1 - v)
+		}
+	})
+	return out
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation (provided for completeness and
+// ablations; the paper uses LeakyReLU + Sigmoid).
+type Tanh struct {
+	out *tensor.Tensor
+}
+
+// NewTanh returns a Tanh layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	tensor.ParallelRange(x.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = math.Tanh(x.Data[i])
+		}
+	})
+	if train {
+		t.out = out
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	y := t.out
+	tensor.ParallelRange(grad.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := y.Data[i]
+			out.Data[i] = grad.Data[i] * (1 - v*v)
+		}
+	})
+	return out
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Identity passes its input through unchanged. It is useful as a placeholder
+// final activation in ablation experiments.
+type Identity struct{}
+
+// NewIdentity returns an Identity layer.
+func NewIdentity() *Identity { return &Identity{} }
+
+// Forward implements Layer.
+func (Identity) Forward(x *tensor.Tensor, train bool) *tensor.Tensor { return x }
+
+// Backward implements Layer.
+func (Identity) Backward(grad *tensor.Tensor) *tensor.Tensor { return grad }
+
+// Params implements Layer.
+func (Identity) Params() []*Param { return nil }

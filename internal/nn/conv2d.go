@@ -1,0 +1,389 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"mgdiffnet/internal/tensor"
+)
+
+// Conv2D is a 2D cross-correlation layer over NCHW tensors with zero
+// padding. Weight layout is [Cout, Cin, KH, KW].
+type Conv2D struct {
+	InChannels  int
+	OutChannels int
+	Kernel      int
+	Stride      int
+	Pad         int
+
+	W *Param
+	B *Param
+
+	in *tensor.Tensor
+}
+
+// NewConv2D builds a 2D convolution with square kernels and He
+// initialization appropriate for LeakyReLU networks.
+func NewConv2D(rng interface{ NormFloat64() float64 }, name string, inCh, outCh, kernel, stride, pad int) *Conv2D {
+	c := &Conv2D{
+		InChannels:  inCh,
+		OutChannels: outCh,
+		Kernel:      kernel,
+		Stride:      stride,
+		Pad:         pad,
+		W:           NewParam(name+".W", outCh, inCh, kernel, kernel),
+		B:           NewParam(name+".B", outCh),
+	}
+	heInitAny(rng, c.W.Data, inCh*kernel*kernel)
+	return c
+}
+
+// heInitAny fills w with Kaiming-normal values for the given fan-in. It
+// accepts any normal sampler, so layers can be seeded from *rand.Rand.
+func heInitAny(rng interface{ NormFloat64() float64 }, w *tensor.Tensor, fanIn int) {
+	std := 1.0
+	if fanIn > 0 {
+		std = math.Sqrt(2.0 / float64(fanIn))
+	}
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// OutSize returns the spatial output size for an input extent n.
+func (c *Conv2D) OutSize(n int) int { return (n+2*c.Pad-c.Kernel)/c.Stride + 1 }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkRank(x, 4, "Conv2D")
+	n, ci, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if ci != c.InChannels {
+		panic(fmt.Sprintf("nn: Conv2D expects %d input channels, got %d", c.InChannels, ci))
+	}
+	ho, wo := c.OutSize(h), c.OutSize(w)
+	if ho <= 0 || wo <= 0 {
+		panic(fmt.Sprintf("nn: Conv2D output collapsed for input %dx%d kernel %d stride %d pad %d", h, w, c.Kernel, c.Stride, c.Pad))
+	}
+	if train {
+		c.in = x
+	}
+	out := tensor.New(n, c.OutChannels, ho, wo)
+	k, s, p := c.Kernel, c.Stride, c.Pad
+	wd, xd, od, bd := c.W.Data.Data, x.Data, out.Data, c.B.Data.Data
+
+	tensor.ParallelFor(n*c.OutChannels, func(job int) {
+		bn := job / c.OutChannels
+		co := job % c.OutChannels
+		outBase := (bn*c.OutChannels + co) * ho * wo
+		for oy := 0; oy < ho; oy++ {
+			for ox := 0; ox < wo; ox++ {
+				acc := bd[co]
+				iy0 := oy*s - p
+				ix0 := ox*s - p
+				for cin := 0; cin < ci; cin++ {
+					wBase := ((co*ci + cin) * k) * k
+					xBase := (bn*ci + cin) * h * w
+					for ky := 0; ky < k; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						rowW := wBase + ky*k
+						rowX := xBase + iy*w
+						for kx := 0; kx < k; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							acc += wd[rowW+kx] * xd[rowX+ix]
+						}
+					}
+				}
+				od[outBase+oy*wo+ox] = acc
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.in
+	n, ci, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	ho, wo := grad.Dim(2), grad.Dim(3)
+	k, s, p := c.Kernel, c.Stride, c.Pad
+	co := c.OutChannels
+
+	gd, xd, wd := grad.Data, x.Data, c.W.Data.Data
+	gw, gb := c.W.Grad.Data, c.B.Grad.Data
+
+	// Bias gradient: sum over batch and spatial positions per out channel.
+	tensor.ParallelFor(co, func(oc int) {
+		acc := 0.0
+		for bn := 0; bn < n; bn++ {
+			base := (bn*co + oc) * ho * wo
+			for i := 0; i < ho*wo; i++ {
+				acc += gd[base+i]
+			}
+		}
+		gb[oc] += acc
+	})
+
+	// Weight gradient: parallel over (co, ci) pairs so accumulation is
+	// race-free.
+	tensor.ParallelFor(co*ci, func(job int) {
+		oc := job / ci
+		cin := job % ci
+		wBase := ((oc*ci + cin) * k) * k
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				acc := 0.0
+				for bn := 0; bn < n; bn++ {
+					gBase := (bn*co + oc) * ho * wo
+					xBase := (bn*ci + cin) * h * w
+					for oy := 0; oy < ho; oy++ {
+						iy := oy*s - p + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						gRow := gBase + oy*wo
+						xRow := xBase + iy*w
+						for ox := 0; ox < wo; ox++ {
+							ix := ox*s - p + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							acc += gd[gRow+ox] * xd[xRow+ix]
+						}
+					}
+				}
+				gw[wBase+ky*k+kx] += acc
+			}
+		}
+	})
+
+	// Input gradient: gather formulation, parallel over (n, ci).
+	gin := tensor.New(n, ci, h, w)
+	gi := gin.Data
+	tensor.ParallelFor(n*ci, func(job int) {
+		bn := job / ci
+		cin := job % ci
+		inBase := (bn*ci + cin) * h * w
+		for iy := 0; iy < h; iy++ {
+			for ix := 0; ix < w; ix++ {
+				acc := 0.0
+				for oc := 0; oc < co; oc++ {
+					wBase := ((oc*ci + cin) * k) * k
+					gBase := (bn*co + oc) * ho * wo
+					for ky := 0; ky < k; ky++ {
+						oyNum := iy + p - ky
+						if oyNum < 0 || oyNum%s != 0 {
+							continue
+						}
+						oy := oyNum / s
+						if oy >= ho {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							oxNum := ix + p - kx
+							if oxNum < 0 || oxNum%s != 0 {
+								continue
+							}
+							ox := oxNum / s
+							if ox >= wo {
+								continue
+							}
+							acc += wd[wBase+ky*k+kx] * gd[gBase+oy*wo+ox]
+						}
+					}
+				}
+				gi[inBase+iy*w+ix] = acc
+			}
+		}
+	})
+	return gin
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// ConvTranspose2D is a 2D transposed convolution (fractionally strided
+// convolution) over NCHW tensors. Weight layout is [Cin, Cout, KH, KW];
+// the output extent for input n is (n-1)*stride - 2*pad + kernel.
+type ConvTranspose2D struct {
+	InChannels  int
+	OutChannels int
+	Kernel      int
+	Stride      int
+	Pad         int
+
+	W *Param
+	B *Param
+
+	in *tensor.Tensor
+}
+
+// NewConvTranspose2D builds a 2D transpose convolution with He init.
+func NewConvTranspose2D(rng interface{ NormFloat64() float64 }, name string, inCh, outCh, kernel, stride, pad int) *ConvTranspose2D {
+	c := &ConvTranspose2D{
+		InChannels:  inCh,
+		OutChannels: outCh,
+		Kernel:      kernel,
+		Stride:      stride,
+		Pad:         pad,
+		W:           NewParam(name+".W", inCh, outCh, kernel, kernel),
+		B:           NewParam(name+".B", outCh),
+	}
+	heInitAny(rng, c.W.Data, inCh*kernel*kernel)
+	return c
+}
+
+// OutSize returns the spatial output size for an input extent n.
+func (c *ConvTranspose2D) OutSize(n int) int { return (n-1)*c.Stride - 2*c.Pad + c.Kernel }
+
+// Forward implements Layer.
+func (c *ConvTranspose2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkRank(x, 4, "ConvTranspose2D")
+	n, ci, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if ci != c.InChannels {
+		panic(fmt.Sprintf("nn: ConvTranspose2D expects %d input channels, got %d", c.InChannels, ci))
+	}
+	ho, wo := c.OutSize(h), c.OutSize(w)
+	if train {
+		c.in = x
+	}
+	out := tensor.New(n, c.OutChannels, ho, wo)
+	k, s, p := c.Kernel, c.Stride, c.Pad
+	co := c.OutChannels
+	wd, xd, od, bd := c.W.Data.Data, x.Data, out.Data, c.B.Data.Data
+
+	// Gather form: out[n,oc,oy,ox] = b + sum over (ci,ky,kx) with
+	// iy = (oy+p-ky)/s when divisible. Race-free parallel over (n, oc).
+	tensor.ParallelFor(n*co, func(job int) {
+		bn := job / co
+		oc := job % co
+		outBase := (bn*co + oc) * ho * wo
+		for oy := 0; oy < ho; oy++ {
+			for ox := 0; ox < wo; ox++ {
+				acc := bd[oc]
+				for cin := 0; cin < ci; cin++ {
+					wBase := ((cin*co + oc) * k) * k
+					xBase := (bn*ci + cin) * h * w
+					for ky := 0; ky < k; ky++ {
+						iyNum := oy + p - ky
+						if iyNum < 0 || iyNum%s != 0 {
+							continue
+						}
+						iy := iyNum / s
+						if iy >= h {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ixNum := ox + p - kx
+							if ixNum < 0 || ixNum%s != 0 {
+								continue
+							}
+							ix := ixNum / s
+							if ix >= w {
+								continue
+							}
+							acc += wd[wBase+ky*k+kx] * xd[xBase+iy*w+ix]
+						}
+					}
+				}
+				od[outBase+oy*wo+ox] = acc
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer.
+func (c *ConvTranspose2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.in
+	n, ci, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	ho, wo := grad.Dim(2), grad.Dim(3)
+	k, s, p := c.Kernel, c.Stride, c.Pad
+	co := c.OutChannels
+	gd, xd, wd := grad.Data, x.Data, c.W.Data.Data
+	gw, gb := c.W.Grad.Data, c.B.Grad.Data
+
+	tensor.ParallelFor(co, func(oc int) {
+		acc := 0.0
+		for bn := 0; bn < n; bn++ {
+			base := (bn*co + oc) * ho * wo
+			for i := 0; i < ho*wo; i++ {
+				acc += gd[base+i]
+			}
+		}
+		gb[oc] += acc
+	})
+
+	// Weight gradient, race-free over (ci, co).
+	tensor.ParallelFor(ci*co, func(job int) {
+		cin := job / co
+		oc := job % co
+		wBase := ((cin*co + oc) * k) * k
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				acc := 0.0
+				for bn := 0; bn < n; bn++ {
+					xBase := (bn*ci + cin) * h * w
+					gBase := (bn*co + oc) * ho * wo
+					for iy := 0; iy < h; iy++ {
+						oy := iy*s - p + ky
+						if oy < 0 || oy >= ho {
+							continue
+						}
+						xRow := xBase + iy*w
+						gRow := gBase + oy*wo
+						for ix := 0; ix < w; ix++ {
+							ox := ix*s - p + kx
+							if ox < 0 || ox >= wo {
+								continue
+							}
+							acc += xd[xRow+ix] * gd[gRow+ox]
+						}
+					}
+				}
+				gw[wBase+ky*k+kx] += acc
+			}
+		}
+	})
+
+	// Input gradient: a plain strided correlation of grad with W.
+	gin := tensor.New(n, ci, h, w)
+	gi := gin.Data
+	tensor.ParallelFor(n*ci, func(job int) {
+		bn := job / ci
+		cin := job % ci
+		inBase := (bn*ci + cin) * h * w
+		for iy := 0; iy < h; iy++ {
+			for ix := 0; ix < w; ix++ {
+				acc := 0.0
+				for oc := 0; oc < co; oc++ {
+					wBase := ((cin*co + oc) * k) * k
+					gBase := (bn*co + oc) * ho * wo
+					for ky := 0; ky < k; ky++ {
+						oy := iy*s - p + ky
+						if oy < 0 || oy >= ho {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ox := ix*s - p + kx
+							if ox < 0 || ox >= wo {
+								continue
+							}
+							acc += wd[wBase+ky*k+kx] * gd[gBase+oy*wo+ox]
+						}
+					}
+				}
+				gi[inBase+iy*w+ix] = acc
+			}
+		}
+	})
+	return gin
+}
+
+// Params implements Layer.
+func (c *ConvTranspose2D) Params() []*Param { return []*Param{c.W, c.B} }

@@ -1,0 +1,424 @@
+package nn
+
+import (
+	"fmt"
+
+	"mgdiffnet/internal/tensor"
+)
+
+// Conv3D is a 3D cross-correlation layer over NCDHW tensors with zero
+// padding. Weight layout is [Cout, Cin, KD, KH, KW]. It is the volumetric
+// kernel behind the paper's megavoxel 3D DiffNet.
+type Conv3D struct {
+	InChannels  int
+	OutChannels int
+	Kernel      int
+	Stride      int
+	Pad         int
+
+	W *Param
+	B *Param
+
+	in *tensor.Tensor
+}
+
+// NewConv3D builds a cubic-kernel 3D convolution with He initialization.
+func NewConv3D(rng interface{ NormFloat64() float64 }, name string, inCh, outCh, kernel, stride, pad int) *Conv3D {
+	c := &Conv3D{
+		InChannels:  inCh,
+		OutChannels: outCh,
+		Kernel:      kernel,
+		Stride:      stride,
+		Pad:         pad,
+		W:           NewParam(name+".W", outCh, inCh, kernel, kernel, kernel),
+		B:           NewParam(name+".B", outCh),
+	}
+	heInitAny(rng, c.W.Data, inCh*kernel*kernel*kernel)
+	return c
+}
+
+// OutSize returns the spatial output size for an input extent n.
+func (c *Conv3D) OutSize(n int) int { return (n+2*c.Pad-c.Kernel)/c.Stride + 1 }
+
+// Forward implements Layer.
+func (c *Conv3D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkRank(x, 5, "Conv3D")
+	n, ci, d, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3), x.Dim(4)
+	if ci != c.InChannels {
+		panic(fmt.Sprintf("nn: Conv3D expects %d input channels, got %d", c.InChannels, ci))
+	}
+	do, ho, wo := c.OutSize(d), c.OutSize(h), c.OutSize(w)
+	if do <= 0 || ho <= 0 || wo <= 0 {
+		panic(fmt.Sprintf("nn: Conv3D output collapsed for input %dx%dx%d kernel %d stride %d pad %d", d, h, w, c.Kernel, c.Stride, c.Pad))
+	}
+	if train {
+		c.in = x
+	}
+	out := tensor.New(n, c.OutChannels, do, ho, wo)
+	k, s, p := c.Kernel, c.Stride, c.Pad
+	co := c.OutChannels
+	wd, xd, od, bd := c.W.Data.Data, x.Data, out.Data, c.B.Data.Data
+
+	tensor.ParallelFor(n*co, func(job int) {
+		bn := job / co
+		oc := job % co
+		outBase := (bn*co + oc) * do * ho * wo
+		for oz := 0; oz < do; oz++ {
+			iz0 := oz*s - p
+			for oy := 0; oy < ho; oy++ {
+				iy0 := oy*s - p
+				for ox := 0; ox < wo; ox++ {
+					ix0 := ox*s - p
+					acc := bd[oc]
+					for cin := 0; cin < ci; cin++ {
+						wBase := (((oc*ci + cin) * k) * k) * k
+						xBase := (bn*ci + cin) * d * h * w
+						for kz := 0; kz < k; kz++ {
+							iz := iz0 + kz
+							if iz < 0 || iz >= d {
+								continue
+							}
+							for ky := 0; ky < k; ky++ {
+								iy := iy0 + ky
+								if iy < 0 || iy >= h {
+									continue
+								}
+								rowW := wBase + (kz*k+ky)*k
+								rowX := xBase + (iz*h+iy)*w
+								for kx := 0; kx < k; kx++ {
+									ix := ix0 + kx
+									if ix < 0 || ix >= w {
+										continue
+									}
+									acc += wd[rowW+kx] * xd[rowX+ix]
+								}
+							}
+						}
+					}
+					od[outBase+(oz*ho+oy)*wo+ox] = acc
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv3D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.in
+	n, ci, d, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3), x.Dim(4)
+	do, ho, wo := grad.Dim(2), grad.Dim(3), grad.Dim(4)
+	k, s, p := c.Kernel, c.Stride, c.Pad
+	co := c.OutChannels
+	gd, xd, wd := grad.Data, x.Data, c.W.Data.Data
+	gw, gb := c.W.Grad.Data, c.B.Grad.Data
+
+	tensor.ParallelFor(co, func(oc int) {
+		acc := 0.0
+		for bn := 0; bn < n; bn++ {
+			base := (bn*co + oc) * do * ho * wo
+			for i := 0; i < do*ho*wo; i++ {
+				acc += gd[base+i]
+			}
+		}
+		gb[oc] += acc
+	})
+
+	tensor.ParallelFor(co*ci, func(job int) {
+		oc := job / ci
+		cin := job % ci
+		wBase := (((oc*ci + cin) * k) * k) * k
+		for kz := 0; kz < k; kz++ {
+			for ky := 0; ky < k; ky++ {
+				for kx := 0; kx < k; kx++ {
+					acc := 0.0
+					for bn := 0; bn < n; bn++ {
+						gBase := (bn*co + oc) * do * ho * wo
+						xBase := (bn*ci + cin) * d * h * w
+						for oz := 0; oz < do; oz++ {
+							iz := oz*s - p + kz
+							if iz < 0 || iz >= d {
+								continue
+							}
+							for oy := 0; oy < ho; oy++ {
+								iy := oy*s - p + ky
+								if iy < 0 || iy >= h {
+									continue
+								}
+								gRow := gBase + (oz*ho+oy)*wo
+								xRow := xBase + (iz*h+iy)*w
+								for ox := 0; ox < wo; ox++ {
+									ix := ox*s - p + kx
+									if ix < 0 || ix >= w {
+										continue
+									}
+									acc += gd[gRow+ox] * xd[xRow+ix]
+								}
+							}
+						}
+					}
+					gw[wBase+(kz*k+ky)*k+kx] += acc
+				}
+			}
+		}
+	})
+
+	gin := tensor.New(n, ci, d, h, w)
+	gi := gin.Data
+	tensor.ParallelFor(n*ci, func(job int) {
+		bn := job / ci
+		cin := job % ci
+		inBase := (bn*ci + cin) * d * h * w
+		for iz := 0; iz < d; iz++ {
+			for iy := 0; iy < h; iy++ {
+				for ix := 0; ix < w; ix++ {
+					acc := 0.0
+					for oc := 0; oc < co; oc++ {
+						wBase := (((oc*ci + cin) * k) * k) * k
+						gBase := (bn*co + oc) * do * ho * wo
+						for kz := 0; kz < k; kz++ {
+							ozNum := iz + p - kz
+							if ozNum < 0 || ozNum%s != 0 {
+								continue
+							}
+							oz := ozNum / s
+							if oz >= do {
+								continue
+							}
+							for ky := 0; ky < k; ky++ {
+								oyNum := iy + p - ky
+								if oyNum < 0 || oyNum%s != 0 {
+									continue
+								}
+								oy := oyNum / s
+								if oy >= ho {
+									continue
+								}
+								for kx := 0; kx < k; kx++ {
+									oxNum := ix + p - kx
+									if oxNum < 0 || oxNum%s != 0 {
+										continue
+									}
+									ox := oxNum / s
+									if ox >= wo {
+										continue
+									}
+									acc += wd[wBase+(kz*k+ky)*k+kx] * gd[gBase+(oz*ho+oy)*wo+ox]
+								}
+							}
+						}
+					}
+					gi[inBase+(iz*h+iy)*w+ix] = acc
+				}
+			}
+		}
+	})
+	return gin
+}
+
+// Params implements Layer.
+func (c *Conv3D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// ConvTranspose3D is a 3D transposed convolution over NCDHW tensors.
+// Weight layout is [Cin, Cout, KD, KH, KW].
+type ConvTranspose3D struct {
+	InChannels  int
+	OutChannels int
+	Kernel      int
+	Stride      int
+	Pad         int
+
+	W *Param
+	B *Param
+
+	in *tensor.Tensor
+}
+
+// NewConvTranspose3D builds a cubic-kernel 3D transpose convolution.
+func NewConvTranspose3D(rng interface{ NormFloat64() float64 }, name string, inCh, outCh, kernel, stride, pad int) *ConvTranspose3D {
+	c := &ConvTranspose3D{
+		InChannels:  inCh,
+		OutChannels: outCh,
+		Kernel:      kernel,
+		Stride:      stride,
+		Pad:         pad,
+		W:           NewParam(name+".W", inCh, outCh, kernel, kernel, kernel),
+		B:           NewParam(name+".B", outCh),
+	}
+	heInitAny(rng, c.W.Data, inCh*kernel*kernel*kernel)
+	return c
+}
+
+// OutSize returns the spatial output size for an input extent n.
+func (c *ConvTranspose3D) OutSize(n int) int { return (n-1)*c.Stride - 2*c.Pad + c.Kernel }
+
+// Forward implements Layer.
+func (c *ConvTranspose3D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkRank(x, 5, "ConvTranspose3D")
+	n, ci, d, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3), x.Dim(4)
+	if ci != c.InChannels {
+		panic(fmt.Sprintf("nn: ConvTranspose3D expects %d input channels, got %d", c.InChannels, ci))
+	}
+	do, ho, wo := c.OutSize(d), c.OutSize(h), c.OutSize(w)
+	if train {
+		c.in = x
+	}
+	out := tensor.New(n, c.OutChannels, do, ho, wo)
+	k, s, p := c.Kernel, c.Stride, c.Pad
+	co := c.OutChannels
+	wd, xd, od, bd := c.W.Data.Data, x.Data, out.Data, c.B.Data.Data
+
+	tensor.ParallelFor(n*co, func(job int) {
+		bn := job / co
+		oc := job % co
+		outBase := (bn*co + oc) * do * ho * wo
+		for oz := 0; oz < do; oz++ {
+			for oy := 0; oy < ho; oy++ {
+				for ox := 0; ox < wo; ox++ {
+					acc := bd[oc]
+					for cin := 0; cin < ci; cin++ {
+						wBase := (((cin*co + oc) * k) * k) * k
+						xBase := (bn*ci + cin) * d * h * w
+						for kz := 0; kz < k; kz++ {
+							izNum := oz + p - kz
+							if izNum < 0 || izNum%s != 0 {
+								continue
+							}
+							iz := izNum / s
+							if iz >= d {
+								continue
+							}
+							for ky := 0; ky < k; ky++ {
+								iyNum := oy + p - ky
+								if iyNum < 0 || iyNum%s != 0 {
+									continue
+								}
+								iy := iyNum / s
+								if iy >= h {
+									continue
+								}
+								for kx := 0; kx < k; kx++ {
+									ixNum := ox + p - kx
+									if ixNum < 0 || ixNum%s != 0 {
+										continue
+									}
+									ix := ixNum / s
+									if ix >= w {
+										continue
+									}
+									acc += wd[wBase+(kz*k+ky)*k+kx] * xd[xBase+(iz*h+iy)*w+ix]
+								}
+							}
+						}
+					}
+					od[outBase+(oz*ho+oy)*wo+ox] = acc
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer.
+func (c *ConvTranspose3D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.in
+	n, ci, d, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3), x.Dim(4)
+	do, ho, wo := grad.Dim(2), grad.Dim(3), grad.Dim(4)
+	k, s, p := c.Kernel, c.Stride, c.Pad
+	co := c.OutChannels
+	gd, xd, wd := grad.Data, x.Data, c.W.Data.Data
+	gw, gb := c.W.Grad.Data, c.B.Grad.Data
+
+	tensor.ParallelFor(co, func(oc int) {
+		acc := 0.0
+		for bn := 0; bn < n; bn++ {
+			base := (bn*co + oc) * do * ho * wo
+			for i := 0; i < do*ho*wo; i++ {
+				acc += gd[base+i]
+			}
+		}
+		gb[oc] += acc
+	})
+
+	tensor.ParallelFor(ci*co, func(job int) {
+		cin := job / co
+		oc := job % co
+		wBase := (((cin*co + oc) * k) * k) * k
+		for kz := 0; kz < k; kz++ {
+			for ky := 0; ky < k; ky++ {
+				for kx := 0; kx < k; kx++ {
+					acc := 0.0
+					for bn := 0; bn < n; bn++ {
+						xBase := (bn*ci + cin) * d * h * w
+						gBase := (bn*co + oc) * do * ho * wo
+						for iz := 0; iz < d; iz++ {
+							oz := iz*s - p + kz
+							if oz < 0 || oz >= do {
+								continue
+							}
+							for iy := 0; iy < h; iy++ {
+								oy := iy*s - p + ky
+								if oy < 0 || oy >= ho {
+									continue
+								}
+								xRow := xBase + (iz*h+iy)*w
+								gRow := gBase + (oz*ho+oy)*wo
+								for ix := 0; ix < w; ix++ {
+									ox := ix*s - p + kx
+									if ox < 0 || ox >= wo {
+										continue
+									}
+									acc += xd[xRow+ix] * gd[gRow+ox]
+								}
+							}
+						}
+					}
+					gw[wBase+(kz*k+ky)*k+kx] += acc
+				}
+			}
+		}
+	})
+
+	gin := tensor.New(n, ci, d, h, w)
+	gi := gin.Data
+	tensor.ParallelFor(n*ci, func(job int) {
+		bn := job / ci
+		cin := job % ci
+		inBase := (bn*ci + cin) * d * h * w
+		for iz := 0; iz < d; iz++ {
+			for iy := 0; iy < h; iy++ {
+				for ix := 0; ix < w; ix++ {
+					acc := 0.0
+					for oc := 0; oc < co; oc++ {
+						wBase := (((cin*co + oc) * k) * k) * k
+						gBase := (bn*co + oc) * do * ho * wo
+						for kz := 0; kz < k; kz++ {
+							oz := iz*s - p + kz
+							if oz < 0 || oz >= do {
+								continue
+							}
+							for ky := 0; ky < k; ky++ {
+								oy := iy*s - p + ky
+								if oy < 0 || oy >= ho {
+									continue
+								}
+								for kx := 0; kx < k; kx++ {
+									ox := ix*s - p + kx
+									if ox < 0 || ox >= wo {
+										continue
+									}
+									acc += wd[wBase+(kz*k+ky)*k+kx] * gd[gBase+(oz*ho+oy)*wo+ox]
+								}
+							}
+						}
+					}
+					gi[inBase+(iz*h+iy)*w+ix] = acc
+				}
+			}
+		}
+	})
+	return gin
+}
+
+// Params implements Layer.
+func (c *ConvTranspose3D) Params() []*Param { return []*Param{c.W, c.B} }

@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"fmt"
+
+	"mgdiffnet/internal/tensor"
+)
+
+// Dense is a fully connected layer y = xW + b over [N, in] batches. It is
+// not used by the convolutional MGDiffNet itself but powers the pointwise
+// (PINN-style) baseline solver the paper positions itself against.
+type Dense struct {
+	In, Out int
+
+	W *Param // [in, out]
+	B *Param // [out]
+
+	in *tensor.Tensor
+}
+
+// NewDense builds a dense layer with He initialization.
+func NewDense(rng interface{ NormFloat64() float64 }, name string, in, out int) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		W:   NewParam(name+".W", in, out),
+		B:   NewParam(name+".B", out),
+	}
+	heInitAny(rng, d.W.Data, in)
+	return d
+}
+
+// Forward implements Layer for [N, in] inputs.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkRank(x, 2, "Dense")
+	if x.Dim(1) != d.In {
+		panic(fmt.Sprintf("nn: Dense expects %d features, got %d", d.In, x.Dim(1)))
+	}
+	if train {
+		d.in = x
+	}
+	n := x.Dim(0)
+	out := tensor.New(n, d.Out)
+	wd, bd := d.W.Data.Data, d.B.Data.Data
+	tensor.ParallelFor(n, func(r int) {
+		xRow := x.Data[r*d.In : (r+1)*d.In]
+		oRow := out.Data[r*d.Out : (r+1)*d.Out]
+		copy(oRow, bd)
+		for i, xv := range xRow {
+			if xv == 0 {
+				continue
+			}
+			wRow := wd[i*d.Out : (i+1)*d.Out]
+			for j, wv := range wRow {
+				oRow[j] += xv * wv
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := d.in
+	n := x.Dim(0)
+	gw, gb := d.W.Grad.Data, d.B.Grad.Data
+	wd := d.W.Data.Data
+
+	// Parameter gradients (serial over rows: N is small for point batches,
+	// and accumulation must be race-free).
+	for r := 0; r < n; r++ {
+		xRow := x.Data[r*d.In : (r+1)*d.In]
+		gRow := grad.Data[r*d.Out : (r+1)*d.Out]
+		for j, gv := range gRow {
+			gb[j] += gv
+		}
+		for i, xv := range xRow {
+			if xv == 0 {
+				continue
+			}
+			wRow := gw[i*d.Out : (i+1)*d.Out]
+			for j, gv := range gRow {
+				wRow[j] += xv * gv
+			}
+		}
+	}
+
+	gin := tensor.New(n, d.In)
+	tensor.ParallelFor(n, func(r int) {
+		gRow := grad.Data[r*d.Out : (r+1)*d.Out]
+		iRow := gin.Data[r*d.In : (r+1)*d.In]
+		for i := 0; i < d.In; i++ {
+			wRow := wd[i*d.Out : (i+1)*d.Out]
+			s := 0.0
+			for j, gv := range gRow {
+				s += wRow[j] * gv
+			}
+			iRow[i] = s
+		}
+	})
+	return gin
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"math"
+
+	"mgdiffnet/internal/tensor"
+)
+
+// GradCheckResult reports the worst relative error seen while comparing
+// analytic and central-difference gradients.
+type GradCheckResult struct {
+	MaxRelErrInput float64
+	MaxRelErrParam float64
+	ParamName      string
+}
+
+// relErr is |a-b| / max(1e-6, |a|+|b|): tolerant near zero (where central
+// differences are dominated by cancellation noise), scale-free away from it.
+// Gradients that are analytically zero — e.g. a convolution bias feeding a
+// batch-norm layer — would otherwise turn ~1e-11 rounding noise into large
+// relative errors.
+func relErr(a, b float64) float64 {
+	d := math.Abs(a - b)
+	s := math.Abs(a) + math.Abs(b)
+	if s < 1e-6 {
+		s = 1e-6
+	}
+	return d / s
+}
+
+// GradCheck verifies a layer's Backward against central finite differences
+// of a random linear functional of its output. It perturbs every element of
+// the input and every parameter (or a stride-sampled subset for large
+// tensors) and returns the worst relative errors.
+func GradCheck(layer Layer, x *tensor.Tensor, rng interface{ Float64() float64 }, eps float64) GradCheckResult {
+	out := layer.Forward(x, true)
+	// Fixed random cotangent defining the scalar loss L = <v, out>.
+	v := tensor.New(out.Shape()...)
+	for i := range v.Data {
+		v.Data[i] = rng.Float64()*2 - 1
+	}
+	loss := func() float64 {
+		o := layer.Forward(x, true)
+		return o.Dot(v)
+	}
+
+	ZeroGrads(layer)
+	_ = layer.Forward(x, true)
+	gin := layer.Backward(v.Clone())
+
+	res := GradCheckResult{}
+
+	sampleStride := func(n int) int {
+		if n <= 64 {
+			return 1
+		}
+		return n / 64
+	}
+
+	st := sampleStride(x.Len())
+	for i := 0; i < x.Len(); i += st {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp := loss()
+		x.Data[i] = orig - eps
+		lm := loss()
+		x.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if e := relErr(num, gin.Data[i]); e > res.MaxRelErrInput {
+			res.MaxRelErrInput = e
+		}
+	}
+
+	for _, p := range layer.Params() {
+		st := sampleStride(p.Data.Len())
+		for i := 0; i < p.Data.Len(); i += st {
+			orig := p.Data.Data[i]
+			p.Data.Data[i] = orig + eps
+			lp := loss()
+			p.Data.Data[i] = orig - eps
+			lm := loss()
+			p.Data.Data[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if e := relErr(num, p.Grad.Data[i]); e > res.MaxRelErrParam {
+				res.MaxRelErrParam = e
+				res.ParamName = p.Name
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,167 @@
+package nn
+
+import "mgdiffnet/internal/tensor"
+
+// Im2Col2D unrolls the sliding windows of an NCHW input into a
+// [Cin·K·K, N·Ho·Wo] matrix so that convolution becomes one GEMM — the
+// lowering used by most production deep-learning engines. Out-of-bounds
+// (padding) positions contribute zeros.
+func Im2Col2D(x *tensor.Tensor, k, stride, pad int) *tensor.Tensor {
+	n, ci, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	ho := (h+2*pad-k)/stride + 1
+	wo := (w+2*pad-k)/stride + 1
+	cols := tensor.New(ci*k*k, n*ho*wo)
+	cd, xd := cols.Data, x.Data
+	colW := n * ho * wo
+
+	tensor.ParallelFor(ci*k*k, func(row int) {
+		cin := row / (k * k)
+		rem := row % (k * k)
+		ky := rem / k
+		kx := rem % k
+		base := row * colW
+		for bn := 0; bn < n; bn++ {
+			xBase := (bn*ci + cin) * h * w
+			for oy := 0; oy < ho; oy++ {
+				iy := oy*stride - pad + ky
+				outRow := base + (bn*ho+oy)*wo
+				if iy < 0 || iy >= h {
+					continue // zeros already there
+				}
+				xRow := xBase + iy*w
+				for ox := 0; ox < wo; ox++ {
+					ix := ox*stride - pad + kx
+					if ix < 0 || ix >= w {
+						continue
+					}
+					cd[outRow+ox] = xd[xRow+ix]
+				}
+			}
+		}
+	})
+	return cols
+}
+
+// Col2Im2D is the adjoint of Im2Col2D: it scatters a [Cin·K·K, N·Ho·Wo]
+// column matrix back onto the NCHW image grid, summing overlapping
+// contributions. It turns the GEMM gradient Wᵀ·gradOut into the input
+// gradient of the convolution.
+func Col2Im2D(cols *tensor.Tensor, n, ci, h, w, k, stride, pad int) *tensor.Tensor {
+	ho := (h+2*pad-k)/stride + 1
+	wo := (w+2*pad-k)/stride + 1
+	out := tensor.New(n, ci, h, w)
+	cd, od := cols.Data, out.Data
+	colW := n * ho * wo
+	// Parallel over channels: each channel's k·k rows scatter only into
+	// that channel's image plane, so channels are independent.
+	tensor.ParallelFor(ci, func(cin int) {
+		for rem := 0; rem < k*k; rem++ {
+			row := cin*k*k + rem
+			ky := rem / k
+			kx := rem % k
+			base := row * colW
+			for bn := 0; bn < n; bn++ {
+				imgBase := (bn*ci + cin) * h * w
+				for oy := 0; oy < ho; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					srcRow := base + (bn*ho+oy)*wo
+					dstRow := imgBase + iy*w
+					for ox := 0; ox < wo; ox++ {
+						ix := ox*stride - pad + kx
+						if ix < 0 || ix >= w {
+							continue
+						}
+						od[dstRow+ix] += cd[srcRow+ox]
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Conv2DGEMMBackward computes the convolution gradients by GEMM lowering:
+// gradW = gradOut·colsᵀ, gradB = row sums, gradX = col2im(Wᵀ·gradOut). It
+// accumulates into the layer's parameter gradients exactly like
+// Conv2D.Backward and returns the input gradient.
+func Conv2DGEMMBackward(c *Conv2D, x, gradOut *tensor.Tensor) *tensor.Tensor {
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	k, s, p := c.Kernel, c.Stride, c.Pad
+	ho, wo := gradOut.Dim(2), gradOut.Dim(3)
+	ci, co := c.InChannels, c.OutChannels
+	colW := n * ho * wo
+
+	// Reorder gradOut from [N, Cout, Ho, Wo] into [Cout, N·Ho·Wo].
+	gMat := tensor.New(co, colW)
+	for bn := 0; bn < n; bn++ {
+		for oc := 0; oc < co; oc++ {
+			src := (bn*co + oc) * ho * wo
+			dst := oc*colW + bn*ho*wo
+			copy(gMat.Data[dst:dst+ho*wo], gradOut.Data[src:src+ho*wo])
+		}
+	}
+
+	// Bias gradient: row sums of gMat.
+	for oc := 0; oc < co; oc++ {
+		sum := 0.0
+		for i := 0; i < colW; i++ {
+			sum += gMat.Data[oc*colW+i]
+		}
+		c.B.Grad.Data[oc] += sum
+	}
+
+	cols := Im2Col2D(x, k, s, p)
+	// gradW = gMat · colsᵀ.
+	gw := tensor.MatMul(gMat, transpose2D(cols))
+	c.W.Grad.Add(gw.Reshape(co, ci, k, k))
+
+	// gradX = col2im(Wᵀ · gMat).
+	wMat := c.W.Data.Reshape(co, ci*k*k)
+	gCols := tensor.MatMul(transpose2D(wMat), gMat)
+	return Col2Im2D(gCols, n, ci, h, w, k, s, p)
+}
+
+// transpose2D returns the transpose of a rank-2 tensor.
+func transpose2D(a *tensor.Tensor) *tensor.Tensor {
+	m, n := a.Dim(0), a.Dim(1)
+	out := tensor.New(n, m)
+	tensor.ParallelFor(m, func(i int) {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	})
+	return out
+}
+
+// Conv2DGEMM computes the same cross-correlation as Conv2D.Forward by
+// lowering to im2col + MatMul. It shares the layer's weights and biases
+// and exists for the direct-vs-GEMM ablation bench; results are identical
+// up to floating-point summation order.
+func Conv2DGEMM(c *Conv2D, x *tensor.Tensor) *tensor.Tensor {
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	k, s, p := c.Kernel, c.Stride, c.Pad
+	ho := (h+2*p-k)/s + 1
+	wo := (w+2*p-k)/s + 1
+
+	cols := Im2Col2D(x, k, s, p)
+	wMat := c.W.Data.Reshape(c.OutChannels, c.InChannels*k*k)
+	prod := tensor.MatMul(wMat, cols) // [Cout, N·Ho·Wo]
+
+	out := tensor.New(n, c.OutChannels, ho, wo)
+	od, pd, bd := out.Data, prod.Data, c.B.Data.Data
+	colW := n * ho * wo
+	tensor.ParallelFor(c.OutChannels, func(oc int) {
+		rowBase := oc * colW
+		for bn := 0; bn < n; bn++ {
+			dst := (bn*c.OutChannels + oc) * ho * wo
+			src := rowBase + bn*ho*wo
+			for i := 0; i < ho*wo; i++ {
+				od[dst+i] = pd[src+i] + bd[oc]
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,119 @@
+// Package nn is a from-scratch neural-network substrate: 2D/3D convolution,
+// transpose convolution, pooling, batch normalization, pointwise activations,
+// and stochastic optimizers, all with hand-written backpropagation.
+//
+// It substitutes for the GPU deep-learning engine used by the MGDiffNet paper
+// (see DESIGN.md). Layers follow a simple contract: Forward caches whatever
+// Backward needs, Backward consumes the gradient of the loss with respect to
+// the layer output and returns the gradient with respect to the layer input,
+// accumulating parameter gradients along the way. All heavy kernels are
+// parallelized with tensor.ParallelFor, which plays the role the paper's
+// OpenMP/CUDA threads play inside one MPI rank.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mgdiffnet/internal/tensor"
+)
+
+// Param is a trainable tensor together with its gradient accumulator.
+type Param struct {
+	Name string
+	Data *tensor.Tensor
+	Grad *tensor.Tensor
+}
+
+// NewParam allocates a parameter and its zeroed gradient with the same shape.
+func NewParam(name string, shape ...int) *Param {
+	return &Param{
+		Name: name,
+		Data: tensor.New(shape...),
+		Grad: tensor.New(shape...),
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// NumElements returns the parameter element count.
+func (p *Param) NumElements() int { return p.Data.Len() }
+
+// Layer is the module contract used by Sequential and the U-Net builder.
+type Layer interface {
+	// Forward computes the layer output. When train is true the layer may
+	// cache activations for Backward and update running statistics.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes dLoss/dOutput and returns dLoss/dInput, adding
+	// parameter gradients into Params().Grad. It must be called after a
+	// Forward with train=true.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// ParamCount sums the element counts of all parameters of the given layers.
+func ParamCount(layers ...Layer) int {
+	n := 0
+	for _, l := range layers {
+		for _, p := range l.Params() {
+			n += p.NumElements()
+		}
+	}
+	return n
+}
+
+// ZeroGrads clears the gradients of all parameters of the given layers.
+func ZeroGrads(layers ...Layer) {
+	for _, l := range layers {
+		for _, p := range l.Params() {
+			p.ZeroGrad()
+		}
+	}
+}
+
+// NewRNG returns a deterministic random source for weight initialization.
+func NewRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Sequential chains layers; the output of each is the input of the next.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward applies every layer in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the gradient through the layers in reverse order.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns the concatenated parameters of all layers.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Append adds layers to the end of the chain.
+func (s *Sequential) Append(layers ...Layer) { s.Layers = append(s.Layers, layers...) }
+
+func checkRank(x *tensor.Tensor, rank int, who string) {
+	if x.Rank() != rank {
+		panic(fmt.Sprintf("nn: %s expects rank-%d input, got shape %v", who, rank, x.Shape()))
+	}
+}

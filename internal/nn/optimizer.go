@@ -1,0 +1,116 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and clears nothing; callers zero gradients
+	// between mini-batches via ZeroGrads.
+	Step()
+	// Params returns the parameter set the optimizer manages.
+	Params() []*Param
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	params   []*Param
+	velocity [][]float64
+}
+
+// NewSGD builds an SGD optimizer over the given parameters.
+func NewSGD(params []*Param, lr, momentum float64) *SGD {
+	s := &SGD{LR: lr, Momentum: momentum, params: params}
+	if momentum != 0 {
+		s.velocity = make([][]float64, len(params))
+		for i, p := range params {
+			s.velocity[i] = make([]float64, p.Data.Len())
+		}
+	}
+	return s
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		if s.Momentum == 0 {
+			for j := range p.Data.Data {
+				p.Data.Data[j] -= s.LR * p.Grad.Data[j]
+			}
+			continue
+		}
+		v := s.velocity[i]
+		for j := range p.Data.Data {
+			v[j] = s.Momentum*v[j] + p.Grad.Data[j]
+			p.Data.Data[j] -= s.LR * v[j]
+		}
+	}
+}
+
+// Params implements Optimizer.
+func (s *SGD) Params() []*Param { return s.params }
+
+// Adam is the optimizer used throughout the paper (lr 1e-5 for the multigrid
+// study, 1e-4 for the scaling study).
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	params []*Param
+	m, v   [][]float64
+	t      int
+}
+
+// NewAdam builds an Adam optimizer with the standard (0.9, 0.999, 1e-8)
+// moment coefficients.
+func NewAdam(params []*Param, lr float64) *Adam {
+	a := &Adam{
+		LR:      lr,
+		Beta1:   0.9,
+		Beta2:   0.999,
+		Epsilon: 1e-8,
+		params:  params,
+	}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float64, p.Data.Len())
+		a.v[i] = make([]float64, p.Data.Len())
+	}
+	return a
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step() {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j := range p.Data.Data {
+			g := p.Grad.Data[j]
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mHat := m[j] / c1
+			vHat := v[j] / c2
+			p.Data.Data[j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Epsilon)
+		}
+	}
+}
+
+// Params implements Optimizer.
+func (a *Adam) Params() []*Param { return a.params }
+
+// ExtendParams registers additional parameters mid-training. This supports
+// the paper's architectural adaptation (§4.1.2), where fresh layers with
+// random weights are inserted when moving to a finer resolution.
+func (a *Adam) ExtendParams(newParams []*Param) {
+	for _, p := range newParams {
+		a.params = append(a.params, p)
+		a.m = append(a.m, make([]float64, p.Data.Len()))
+		a.v = append(a.v, make([]float64, p.Data.Len()))
+	}
+}

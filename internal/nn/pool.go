@@ -1,0 +1,261 @@
+package nn
+
+import (
+	"math"
+
+	"mgdiffnet/internal/tensor"
+)
+
+// MaxPool is a max-pooling layer with kernel == stride (the paper's
+// downsampling is always a factor of two, property 2 of §3.1.2). It accepts
+// both NCHW (rank 4) and NCDHW (rank 5) inputs.
+type MaxPool struct {
+	K      int
+	argmax []int32
+	inLen  int
+	inShp  []int
+}
+
+// NewMaxPool builds a max-pooling layer with window and stride k.
+func NewMaxPool(k int) *MaxPool { return &MaxPool{K: k} }
+
+// Forward implements Layer.
+func (m *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	switch x.Rank() {
+	case 4:
+		return m.forward2D(x, train)
+	case 5:
+		return m.forward3D(x, train)
+	default:
+		panic("nn: MaxPool expects rank-4 or rank-5 input")
+	}
+}
+
+func (m *MaxPool) forward2D(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	k := m.K
+	ho, wo := h/k, w/k
+	out := tensor.New(n, c, ho, wo)
+	var arg []int32
+	if train {
+		arg = make([]int32, out.Len())
+		m.inLen = x.Len()
+		m.inShp = append([]int(nil), x.Shape()...)
+	}
+	xd, od := x.Data, out.Data
+	tensor.ParallelFor(n*c, func(job int) {
+		inBase := job * h * w
+		outBase := job * ho * wo
+		for oy := 0; oy < ho; oy++ {
+			for ox := 0; ox < wo; ox++ {
+				best := math.Inf(-1)
+				bestIdx := 0
+				for ky := 0; ky < k; ky++ {
+					row := inBase + (oy*k+ky)*w + ox*k
+					for kx := 0; kx < k; kx++ {
+						if v := xd[row+kx]; v > best {
+							best = v
+							bestIdx = row + kx
+						}
+					}
+				}
+				o := outBase + oy*wo + ox
+				od[o] = best
+				if arg != nil {
+					arg[o] = int32(bestIdx)
+				}
+			}
+		}
+	})
+	m.argmax = arg
+	return out
+}
+
+func (m *MaxPool) forward3D(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, d, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3), x.Dim(4)
+	k := m.K
+	do, ho, wo := d/k, h/k, w/k
+	out := tensor.New(n, c, do, ho, wo)
+	var arg []int32
+	if train {
+		arg = make([]int32, out.Len())
+		m.inLen = x.Len()
+		m.inShp = append([]int(nil), x.Shape()...)
+	}
+	xd, od := x.Data, out.Data
+	tensor.ParallelFor(n*c, func(job int) {
+		inBase := job * d * h * w
+		outBase := job * do * ho * wo
+		for oz := 0; oz < do; oz++ {
+			for oy := 0; oy < ho; oy++ {
+				for ox := 0; ox < wo; ox++ {
+					best := math.Inf(-1)
+					bestIdx := 0
+					for kz := 0; kz < k; kz++ {
+						for ky := 0; ky < k; ky++ {
+							row := inBase + ((oz*k+kz)*h+oy*k+ky)*w + ox*k
+							for kx := 0; kx < k; kx++ {
+								if v := xd[row+kx]; v > best {
+									best = v
+									bestIdx = row + kx
+								}
+							}
+						}
+					}
+					o := outBase + (oz*ho+oy)*wo + ox
+					od[o] = best
+					if arg != nil {
+						arg[o] = int32(bestIdx)
+					}
+				}
+			}
+		}
+	})
+	m.argmax = arg
+	return out
+}
+
+// Backward implements Layer: the gradient flows to the argmax positions.
+func (m *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gin := tensor.New(m.inShp...)
+	for i, g := range grad.Data {
+		gin.Data[m.argmax[i]] += g
+	}
+	return gin
+}
+
+// Params implements Layer.
+func (m *MaxPool) Params() []*Param { return nil }
+
+// AvgPool is an average-pooling layer with kernel == stride. Besides its
+// use as a network layer, it is the multigrid restriction operator that
+// coarsens diffusivity fields between training levels.
+type AvgPool struct {
+	K     int
+	inShp []int
+}
+
+// NewAvgPool builds an average-pooling layer with window and stride k.
+func NewAvgPool(k int) *AvgPool { return &AvgPool{K: k} }
+
+// Forward implements Layer.
+func (a *AvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		a.inShp = append([]int(nil), x.Shape()...)
+	}
+	return AvgPoolApply(x, a.K)
+}
+
+// AvgPoolApply average-pools x (rank 4 or 5) with window and stride k
+// without caching anything; it is the functional form used for restriction.
+func AvgPoolApply(x *tensor.Tensor, k int) *tensor.Tensor {
+	switch x.Rank() {
+	case 4:
+		n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+		ho, wo := h/k, w/k
+		out := tensor.New(n, c, ho, wo)
+		inv := 1.0 / float64(k*k)
+		xd, od := x.Data, out.Data
+		tensor.ParallelFor(n*c, func(job int) {
+			inBase := job * h * w
+			outBase := job * ho * wo
+			for oy := 0; oy < ho; oy++ {
+				for ox := 0; ox < wo; ox++ {
+					s := 0.0
+					for ky := 0; ky < k; ky++ {
+						row := inBase + (oy*k+ky)*w + ox*k
+						for kx := 0; kx < k; kx++ {
+							s += xd[row+kx]
+						}
+					}
+					od[outBase+oy*wo+ox] = s * inv
+				}
+			}
+		})
+		return out
+	case 5:
+		n, c, d, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3), x.Dim(4)
+		do, ho, wo := d/k, h/k, w/k
+		out := tensor.New(n, c, do, ho, wo)
+		inv := 1.0 / float64(k*k*k)
+		xd, od := x.Data, out.Data
+		tensor.ParallelFor(n*c, func(job int) {
+			inBase := job * d * h * w
+			outBase := job * do * ho * wo
+			for oz := 0; oz < do; oz++ {
+				for oy := 0; oy < ho; oy++ {
+					for ox := 0; ox < wo; ox++ {
+						s := 0.0
+						for kz := 0; kz < k; kz++ {
+							for ky := 0; ky < k; ky++ {
+								row := inBase + ((oz*k+kz)*h+oy*k+ky)*w + ox*k
+								for kx := 0; kx < k; kx++ {
+									s += xd[row+kx]
+								}
+							}
+						}
+						od[outBase+(oz*ho+oy)*wo+ox] = s * inv
+					}
+				}
+			}
+		})
+		return out
+	default:
+		panic("nn: AvgPool expects rank-4 or rank-5 input")
+	}
+}
+
+// Backward implements Layer: the gradient is spread uniformly over each
+// pooling window.
+func (a *AvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	k := a.K
+	gin := tensor.New(a.inShp...)
+	switch len(a.inShp) {
+	case 4:
+		n, c, h, w := a.inShp[0], a.inShp[1], a.inShp[2], a.inShp[3]
+		ho, wo := grad.Dim(2), grad.Dim(3)
+		inv := 1.0 / float64(k*k)
+		tensor.ParallelFor(n*c, func(job int) {
+			inBase := job * h * w
+			outBase := job * ho * wo
+			for oy := 0; oy < ho; oy++ {
+				for ox := 0; ox < wo; ox++ {
+					g := grad.Data[outBase+oy*wo+ox] * inv
+					for ky := 0; ky < k; ky++ {
+						row := inBase + (oy*k+ky)*w + ox*k
+						for kx := 0; kx < k; kx++ {
+							gin.Data[row+kx] += g
+						}
+					}
+				}
+			}
+		})
+	case 5:
+		n, c, d, h, w := a.inShp[0], a.inShp[1], a.inShp[2], a.inShp[3], a.inShp[4]
+		do, ho, wo := grad.Dim(2), grad.Dim(3), grad.Dim(4)
+		inv := 1.0 / float64(k*k*k)
+		tensor.ParallelFor(n*c, func(job int) {
+			inBase := job * d * h * w
+			outBase := job * do * ho * wo
+			for oz := 0; oz < do; oz++ {
+				for oy := 0; oy < ho; oy++ {
+					for ox := 0; ox < wo; ox++ {
+						g := grad.Data[outBase+(oz*ho+oy)*wo+ox] * inv
+						for kz := 0; kz < k; kz++ {
+							for ky := 0; ky < k; ky++ {
+								row := inBase + ((oz*k+kz)*h+oy*k+ky)*w + ox*k
+								for kx := 0; kx < k; kx++ {
+									gin.Data[row+kx] += g
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+	return gin
+}
+
+// Params implements Layer.
+func (a *AvgPool) Params() []*Param { return nil }

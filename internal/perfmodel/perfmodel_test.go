@@ -1,0 +1,161 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// The U-Net parameter count used in the paper-scale projections; the exact
+// value barely matters because comm ≪ compute (asserted below).
+const nw = 2_000_000
+
+func TestFigure9EndpointsMatchPaper(t *testing.T) {
+	w := Figure9Workload(nw)
+	// One V100: the paper reports 48 minutes per epoch.
+	t1 := EpochTime(Azure, w, 1)
+	if math.Abs(t1-2880) > 2880*0.05 {
+		t.Fatalf("1-GPU epoch %v s, want ~2880 s (48 min)", t1)
+	}
+	// 512 GPUs: the paper reports ~6 s (speedup 480×).
+	t512 := EpochTime(Azure, w, 512)
+	if t512 < 4 || t512 > 8 {
+		t.Fatalf("512-GPU epoch %v s, want ~6 s", t512)
+	}
+	s := Speedup(Azure, w, 512)
+	if s < 400 || s > 520 {
+		t.Fatalf("512-GPU speedup %v, paper reports ~480", s)
+	}
+}
+
+func TestFigure9NearLinearScaling(t *testing.T) {
+	w := Figure9Workload(nw)
+	for _, p := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
+		s := Speedup(Azure, w, p)
+		eff := s / float64(p)
+		if eff < 0.9 || eff > 1.0001 {
+			t.Fatalf("p=%d: efficiency %v outside [0.9, 1]", p, eff)
+		}
+	}
+}
+
+func TestEpochTimeMonotonicallyDecreasing(t *testing.T) {
+	w := Figure10Workload(nw)
+	prev := math.Inf(1)
+	for p := 1; p <= 128; p *= 2 {
+		cur := EpochTime(Bridges2, w, p)
+		if cur >= prev {
+			t.Fatalf("epoch time grew at p=%d: %v -> %v", p, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestCommunicationNegligible(t *testing.T) {
+	// The paper's argument: N_w ≫ p makes the ring allreduce nearly
+	// p-independent and tiny next to compute.
+	w := Figure9Workload(nw)
+	comm := AllReduceTime(Azure, float64(nw*4), 512)
+	total := EpochTime(Azure, w, 512)
+	if comm > 0.05*total {
+		t.Fatalf("allreduce %v s not negligible against epoch %v s", comm, total)
+	}
+}
+
+func TestAllReduceSaturates(t *testing.T) {
+	// 2(p-1)/p -> 2: doubling p far along the curve barely changes the
+	// bandwidth term.
+	a := AllReduceTime(Azure, 8e6, 64)
+	b := AllReduceTime(Azure, 8e6, 128)
+	if math.Abs(a-b) > 0.5*a {
+		t.Fatalf("allreduce should saturate: %v vs %v", a, b)
+	}
+	if AllReduceTime(Azure, 8e6, 1) != 0 {
+		t.Fatal("p=1 must not communicate")
+	}
+}
+
+func TestMemoryGates(t *testing.T) {
+	w256 := Figure9Workload(nw)
+	w512 := Figure10Workload(nw)
+	// The paper trains 256³ on 32 GB V100s (≈14 GB/sample × batch 2)…
+	if !FitsOnGPU(Azure, w256) {
+		t.Fatalf("256³ must fit on a V100: %v GB", TrainMemoryGBPerDevice(w256))
+	}
+	// …but 512³ is infeasible on GPUs and needs the 256 GB CPU nodes.
+	if FitsOnGPU(Azure, w512) {
+		t.Fatalf("512³ must NOT fit on a V100: %v GB", TrainMemoryGBPerDevice(w512))
+	}
+	if !FitsOnNode(Bridges2, w512) {
+		t.Fatalf("512³ must fit in a Bridges2 node: %v GB vs %v GB",
+			TrainMemoryGBPerDevice(w512), Bridges2.MemoryGBNode)
+	}
+	// The paper reports ~230 GB peak per node at 512³.
+	if m := TrainMemoryGBPerDevice(w512); m < 180 || m > 256 {
+		t.Fatalf("512³ footprint %v GB, paper reports ~230 GB", m)
+	}
+	if FitsOnGPU(Bridges2, w256) {
+		t.Fatal("Bridges2 has no GPUs")
+	}
+}
+
+func TestScalingSeriesShape(t *testing.T) {
+	w := Figure9Workload(nw)
+	devices := []int{1, 8, 64, 512}
+	pts := ScalingSeries(Azure, w, devices, 8)
+	if len(pts) != 4 {
+		t.Fatalf("points %d", len(pts))
+	}
+	if pts[0].Speedup != 1 {
+		t.Fatalf("baseline speedup %v", pts[0].Speedup)
+	}
+	if pts[3].Nodes != 64 {
+		t.Fatalf("512 GPUs at 8/node should be 64 nodes, got %d", pts[3].Nodes)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Speedup <= pts[i-1].Speedup {
+			t.Fatalf("speedup not increasing at %d", i)
+		}
+	}
+}
+
+func TestInferenceVsPaper(t *testing.T) {
+	// Paper: inference at 256³ on one V100 ≈ 0.5 s; at 512³ on one
+	// Bridges2 node ≈ 20 s.
+	if ti := InferenceTime(Azure, Figure9Workload(nw)); ti < 0.2 || ti > 2 {
+		t.Fatalf("256³ GPU inference %v s, want O(0.5 s)", ti)
+	}
+	if ti := InferenceTime(Bridges2, Figure10Workload(nw)); ti < 10 || ti > 80 {
+		t.Fatalf("512³ CPU inference %v s, want O(20 s)", ti)
+	}
+}
+
+func TestWorkloadVoxels(t *testing.T) {
+	w := Workload{Dim: 3, Resolution: 4}
+	if w.VoxelsPerSample() != 64 {
+		t.Fatalf("voxels %v", w.VoxelsPerSample())
+	}
+	w2 := Workload{Dim: 2, Resolution: 8}
+	if w2.VoxelsPerSample() != 64 {
+		t.Fatalf("2D voxels %v", w2.VoxelsPerSample())
+	}
+}
+
+func TestEpochTimePanicsOnBadDeviceCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EpochTime(Azure, Figure9Workload(nw), 0)
+}
+
+func TestTable6SpecsPreserved(t *testing.T) {
+	// Regression guard on the Table 6 transcription.
+	if Azure.CoresPerNode != 40 || Azure.GPUsPerNode != 8 || Azure.GPUMemGB != 32 ||
+		Azure.BandwidthGbps != 100 || Azure.MemoryGBNode != 672 {
+		t.Fatalf("Azure spec drifted: %+v", Azure)
+	}
+	if Bridges2.CoresPerNode != 128 || Bridges2.MemoryGBNode != 256 || Bridges2.BandwidthGbps != 200 {
+		t.Fatalf("Bridges2 spec drifted: %+v", Bridges2)
+	}
+}

@@ -1,0 +1,188 @@
+// Package pinn implements the pointwise neural-solver baseline the paper's
+// introduction positions MGDiffNet against: a coordinate MLP u_θ(x, y)
+// trained on collocation points with a variational (Deep-Ritz-style) energy
+// objective and a *penalty* boundary term. It exhibits, by construction,
+// the two limitations §1 lists for this family: the boundary penalty weight
+// λ is a hyperparameter that must be tuned, and one trained network solves
+// exactly one PDE instance (one ω) — no parametric family, no full-field
+// amortization.
+package pinn
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mgdiffnet/internal/field"
+	"mgdiffnet/internal/nn"
+	"mgdiffnet/internal/tensor"
+)
+
+// Config parameterizes a single-instance pointwise solve.
+type Config struct {
+	// Omega fixes the PDE instance (one network per ω — limitation #2).
+	Omega field.Omega
+	// Hidden is the MLP width; Layers the number of hidden layers.
+	Hidden int
+	Layers int
+	// Collocation is the number of interior quadrature points per epoch.
+	Collocation int
+	// Boundary is the number of penalty points per Dirichlet face.
+	Boundary int
+	// Lambda is the boundary penalty weight (limitation #1: must be tuned).
+	Lambda float64
+	// FDStep is the central-difference step used for ∇u.
+	FDStep float64
+	// LR and Epochs drive Adam.
+	LR     float64
+	Epochs int
+	Seed   int64
+}
+
+// DefaultConfig returns a configuration that solves smooth instances to a
+// few percent error in seconds.
+func DefaultConfig(w field.Omega) Config {
+	return Config{
+		Omega:       w,
+		Hidden:      32,
+		Layers:      3,
+		Collocation: 512,
+		Boundary:    64,
+		Lambda:      50,
+		FDStep:      1e-3,
+		LR:          3e-3,
+		Epochs:      400,
+		Seed:        1,
+	}
+}
+
+// Solver is the pointwise MLP u_θ: [0,1]² → R.
+type Solver struct {
+	Cfg Config
+	mlp *nn.Sequential
+	opt *nn.Adam
+	rng *rand.Rand
+}
+
+// New builds the MLP solver.
+func New(cfg Config) *Solver {
+	if cfg.Layers < 1 || cfg.Hidden < 1 {
+		panic("pinn: Layers and Hidden must be >= 1")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	seq := nn.NewSequential(nn.NewDense(rng, "in", 2, cfg.Hidden), nn.NewTanh())
+	for l := 1; l < cfg.Layers; l++ {
+		seq.Append(nn.NewDense(rng, fmt.Sprintf("h%d", l), cfg.Hidden, cfg.Hidden), nn.NewTanh())
+	}
+	seq.Append(nn.NewDense(rng, "out", cfg.Hidden, 1))
+	s := &Solver{Cfg: cfg, mlp: seq, rng: rng}
+	s.opt = nn.NewAdam(seq.Params(), cfg.LR)
+	return s
+}
+
+// Eval evaluates u_θ at a batch of points [N, 2].
+func (s *Solver) Eval(pts *tensor.Tensor) *tensor.Tensor {
+	return s.mlp.Forward(pts, false)
+}
+
+// EvalGrid samples u_θ on an res×res nodal grid ([y][x]).
+func (s *Solver) EvalGrid(res int) *tensor.Tensor {
+	pts := tensor.New(res*res, 2)
+	h := 1.0 / float64(res-1)
+	for iy := 0; iy < res; iy++ {
+		for ix := 0; ix < res; ix++ {
+			pts.Data[(iy*res+ix)*2] = float64(ix) * h
+			pts.Data[(iy*res+ix)*2+1] = float64(iy) * h
+		}
+	}
+	out := s.Eval(pts)
+	return tensor.FromSlice(out.Data, res, res)
+}
+
+// epochLoss assembles one collocation batch, evaluates the Deep-Ritz energy
+// with finite-difference gradients plus the boundary penalty, and performs
+// one Adam step. It returns the total loss.
+func (s *Solver) epochLoss() float64 {
+	m := s.Cfg.Collocation
+	b := s.Cfg.Boundary
+	h := s.Cfg.FDStep
+	// Point layout: for each interior point, 4 FD evaluations
+	// (x±h, y±h); then 2·b boundary points.
+	total := 4*m + 2*b
+	pts := tensor.New(total, 2)
+	for i := 0; i < m; i++ {
+		// Keep FD stencils inside the domain.
+		x := h + s.rng.Float64()*(1-2*h)
+		y := h + s.rng.Float64()*(1-2*h)
+		set := func(k int, px, py float64) {
+			pts.Data[(4*i+k)*2] = px
+			pts.Data[(4*i+k)*2+1] = py
+		}
+		set(0, x+h, y)
+		set(1, x-h, y)
+		set(2, x, y+h)
+		set(3, x, y-h)
+	}
+	for j := 0; j < b; j++ {
+		y := s.rng.Float64()
+		pts.Data[(4*m+j)*2] = 0 // x = 0 face, u = 1
+		pts.Data[(4*m+j)*2+1] = y
+		y2 := s.rng.Float64()
+		pts.Data[(4*m+b+j)*2] = 1 // x = 1 face, u = 0
+		pts.Data[(4*m+b+j)*2+1] = y2
+	}
+
+	nn.ZeroGrads(s.mlp)
+	u := s.mlp.Forward(pts, true)
+	gradOut := tensor.New(total, 1)
+
+	// Interior energy: Σ w·ν(p)·(gx²+gy²)/2 with w = 1/m (unit area).
+	w := 1.0 / float64(m)
+	loss := 0.0
+	for i := 0; i < m; i++ {
+		xp := pts.Data[(4*i)*2] - h // center x (x+h minus h)
+		yp := pts.Data[(4*i)*2+1]
+		nuP := field.Eval2D(s.Cfg.Omega, xp, yp)
+		gx := (u.Data[4*i] - u.Data[4*i+1]) / (2 * h)
+		gy := (u.Data[4*i+2] - u.Data[4*i+3]) / (2 * h)
+		loss += 0.5 * w * nuP * (gx*gx + gy*gy)
+		c := w * nuP / (2 * h)
+		gradOut.Data[4*i] += c * gx
+		gradOut.Data[4*i+1] -= c * gx
+		gradOut.Data[4*i+2] += c * gy
+		gradOut.Data[4*i+3] -= c * gy
+	}
+	// Boundary penalty: λ·mean((u−g)²) per face.
+	lam := s.Cfg.Lambda / float64(b)
+	for j := 0; j < b; j++ {
+		i0 := 4*m + j
+		d0 := u.Data[i0] - 1
+		loss += lam * d0 * d0
+		gradOut.Data[i0] += 2 * lam * d0
+		i1 := 4*m + b + j
+		d1 := u.Data[i1] - 0
+		loss += lam * d1 * d1
+		gradOut.Data[i1] += 2 * lam * d1
+	}
+
+	s.mlp.Backward(gradOut)
+	s.opt.Step()
+	return loss
+}
+
+// Result summarizes a single-instance solve.
+type Result struct {
+	FinalLoss float64
+	Seconds   float64
+	Epochs    int
+}
+
+// Solve trains the MLP on its single PDE instance and returns statistics.
+func (s *Solver) Solve() Result {
+	start := time.Now()
+	loss := 0.0
+	for e := 0; e < s.Cfg.Epochs; e++ {
+		loss = s.epochLoss()
+	}
+	return Result{FinalLoss: loss, Seconds: time.Since(start).Seconds(), Epochs: s.Cfg.Epochs}
+}

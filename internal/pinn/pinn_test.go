@@ -1,0 +1,106 @@
+package pinn
+
+import (
+	"math"
+	"testing"
+
+	"mgdiffnet/internal/fem"
+	"mgdiffnet/internal/field"
+	"mgdiffnet/internal/tensor"
+)
+
+func TestSolveConstantNuApproaches1MinusX(t *testing.T) {
+	// With ν ≡ 1 (ω = 0) the solution is u = 1 − x; the pointwise solver
+	// must land near it despite soft boundary conditions.
+	cfg := DefaultConfig(field.Omega{})
+	cfg.Epochs = 600
+	cfg.Seed = 3
+	s := New(cfg)
+	res := s.Solve()
+	if math.IsNaN(res.FinalLoss) {
+		t.Fatal("loss is NaN")
+	}
+	const gridRes = 17
+	u := s.EvalGrid(gridRes)
+	want := fem.NewPoisson2D(gridRes).BoundaryField()
+	if d := u.RMSE(want); d > 0.08 {
+		t.Fatalf("PINN RMSE %v from 1-x (too large)", d)
+	}
+}
+
+func TestSolveReducesLoss(t *testing.T) {
+	cfg := DefaultConfig(field.Omega{0.3, 0.5, -0.2, 0.1})
+	cfg.Epochs = 5
+	s := New(cfg)
+	first := s.epochLoss()
+	var last float64
+	for e := 0; e < 60; e++ {
+		last = s.epochLoss()
+	}
+	if !(last < first) {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+// Limitation #1 of the paper: the boundary penalty weight matters. A
+// near-zero λ lets the boundary drift, producing a much worse boundary
+// error than a sensible λ.
+func TestBoundaryPenaltySensitivity(t *testing.T) {
+	boundaryErr := func(lambda float64) float64 {
+		cfg := DefaultConfig(field.Omega{})
+		cfg.Lambda = lambda
+		cfg.Epochs = 300
+		cfg.Seed = 5
+		s := New(cfg)
+		s.Solve()
+		u := s.EvalGrid(9)
+		e := 0.0
+		for iy := 0; iy < 9; iy++ {
+			e += math.Abs(u.At(iy, 0)-1) + math.Abs(u.At(iy, 8))
+		}
+		return e / 18
+	}
+	weak := boundaryErr(0.01)
+	strong := boundaryErr(50)
+	if weak < 2*strong {
+		t.Fatalf("penalty weight should matter: weak-λ err %v vs strong-λ err %v", weak, strong)
+	}
+}
+
+func TestEvalGridShape(t *testing.T) {
+	s := New(DefaultConfig(field.Omega{}))
+	u := s.EvalGrid(8)
+	if u.Rank() != 2 || u.Dim(0) != 8 || u.Dim(1) != 8 {
+		t.Fatalf("grid shape %v", u.Shape())
+	}
+}
+
+func TestEvalBatch(t *testing.T) {
+	s := New(DefaultConfig(field.Omega{}))
+	pts := tensor.FromSlice([]float64{0.5, 0.5, 0.1, 0.9}, 2, 2)
+	out := s.Eval(pts)
+	if out.Dim(0) != 2 || out.Dim(1) != 1 {
+		t.Fatalf("eval shape %v", out.Shape())
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	cfg := DefaultConfig(field.Omega{})
+	cfg.Layers = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(cfg)
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	cfg := DefaultConfig(field.Omega{0.1, 0.2, 0.3, 0.4})
+	cfg.Epochs = 10
+	a := New(cfg).Solve()
+	b := New(cfg).Solve()
+	if a.FinalLoss != b.FinalLoss {
+		t.Fatalf("non-deterministic: %v vs %v", a.FinalLoss, b.FinalLoss)
+	}
+}

@@ -1,0 +1,258 @@
+// Package sparse provides the serial numerical linear algebra the FEM
+// comparator is built on: CSR matrices assembled from triplets, a
+// matrix-free conjugate-gradient solver, and the classical stationary
+// smoothers (Jacobi, Gauss–Seidel, SSOR) used inside the geometric
+// multigrid solver.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mgdiffnet/internal/tensor"
+)
+
+// Operator is anything that can apply a square linear map y = A·x.
+type Operator interface {
+	// Apply writes A·x into y. x and y must not alias.
+	Apply(y, x []float64)
+	// Size returns the dimension of the operator.
+	Size() int
+}
+
+// OpFunc adapts a function to the Operator interface.
+type OpFunc struct {
+	N int
+	F func(y, x []float64)
+}
+
+// Apply implements Operator.
+func (o OpFunc) Apply(y, x []float64) { o.F(y, x) }
+
+// Size implements Operator.
+func (o OpFunc) Size() int { return o.N }
+
+// COO is a builder for sparse matrices in triplet form. Duplicate entries
+// are summed on conversion, matching FEM assembly semantics.
+type COO struct {
+	n    int
+	rows []int32
+	cols []int32
+	vals []float64
+}
+
+// NewCOO creates a triplet builder for an n×n matrix.
+func NewCOO(n int) *COO { return &COO{n: n} }
+
+// Add accumulates v at (i, j).
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.n || j < 0 || j >= c.n {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of bounds for n=%d", i, j, c.n))
+	}
+	c.rows = append(c.rows, int32(i))
+	c.cols = append(c.cols, int32(j))
+	c.vals = append(c.vals, v)
+}
+
+// NNZ returns the number of accumulated triplets (before deduplication).
+func (c *COO) NNZ() int { return len(c.vals) }
+
+// CSR is a compressed-sparse-row matrix.
+type CSR struct {
+	N      int
+	RowPtr []int32
+	Col    []int32
+	Val    []float64
+}
+
+// ToCSR converts the triplets to CSR, summing duplicates.
+func (c *COO) ToCSR() *CSR {
+	type entry struct {
+		col int32
+		val float64
+	}
+	perRow := make([][]entry, c.n)
+	for k := range c.vals {
+		r := c.rows[k]
+		perRow[r] = append(perRow[r], entry{c.cols[k], c.vals[k]})
+	}
+	m := &CSR{N: c.n, RowPtr: make([]int32, c.n+1)}
+	for r := 0; r < c.n; r++ {
+		es := perRow[r]
+		sort.Slice(es, func(a, b int) bool { return es[a].col < es[b].col })
+		var last int32 = -1
+		for _, e := range es {
+			if e.col == last {
+				m.Val[len(m.Val)-1] += e.val
+				continue
+			}
+			m.Col = append(m.Col, e.col)
+			m.Val = append(m.Val, e.val)
+			last = e.col
+		}
+		m.RowPtr[r+1] = int32(len(m.Val))
+	}
+	return m
+}
+
+// Apply implements Operator with a parallel row sweep.
+func (m *CSR) Apply(y, x []float64) {
+	tensor.ParallelRange(m.N, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			s := 0.0
+			for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+				s += m.Val[k] * x[m.Col[k]]
+			}
+			y[r] = s
+		}
+	})
+}
+
+// Size implements Operator.
+func (m *CSR) Size() int { return m.N }
+
+// Diag extracts the matrix diagonal.
+func (m *CSR) Diag() []float64 {
+	d := make([]float64, m.N)
+	for r := 0; r < m.N; r++ {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			if int(m.Col[k]) == r {
+				d[r] = m.Val[k]
+				break
+			}
+		}
+	}
+	return d
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// CGResult reports the outcome of a conjugate-gradient solve.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final ‖b − Ax‖₂
+	Converged  bool
+}
+
+// CG solves A·x = b for symmetric positive-definite A, starting from the
+// content of x. It stops when ‖r‖ ≤ tol·‖b‖ or after maxIter iterations.
+func CG(a Operator, b, x []float64, tol float64, maxIter int) CGResult {
+	n := a.Size()
+	if len(b) != n || len(x) != n {
+		panic("sparse: CG size mismatch")
+	}
+	r := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	a.Apply(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	copy(p, r)
+	rs := dot(r, r)
+	bn := math.Sqrt(dot(b, b))
+	if bn == 0 {
+		bn = 1
+	}
+	res := CGResult{Residual: math.Sqrt(rs)}
+	if res.Residual <= tol*bn {
+		res.Converged = true
+		return res
+	}
+	for it := 0; it < maxIter; it++ {
+		a.Apply(ap, p)
+		alpha := rs / dot(p, ap)
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rsNew := dot(r, r)
+		res.Iterations = it + 1
+		res.Residual = math.Sqrt(rsNew)
+		if res.Residual <= tol*bn {
+			res.Converged = true
+			return res
+		}
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+	return res
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Jacobi performs sweeps of the weighted Jacobi iteration
+// x ← x + ωD⁻¹(b − Ax) on the CSR matrix.
+func Jacobi(m *CSR, b, x []float64, omega float64, sweeps int) {
+	d := m.Diag()
+	r := make([]float64, m.N)
+	for s := 0; s < sweeps; s++ {
+		m.Apply(r, x)
+		for i := range x {
+			if d[i] != 0 {
+				x[i] += omega * (b[i] - r[i]) / d[i]
+			}
+		}
+	}
+}
+
+// GaussSeidel performs forward Gauss–Seidel sweeps in place.
+func GaussSeidel(m *CSR, b, x []float64, sweeps int) {
+	for s := 0; s < sweeps; s++ {
+		for r := 0; r < m.N; r++ {
+			sum := b[r]
+			var diag float64
+			for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+				c := int(m.Col[k])
+				if c == r {
+					diag = m.Val[k]
+					continue
+				}
+				sum -= m.Val[k] * x[c]
+			}
+			if diag != 0 {
+				x[r] = sum / diag
+			}
+		}
+	}
+}
+
+// SSOR performs symmetric successive over-relaxation sweeps (a forward then
+// a backward Gauss–Seidel pass with relaxation ω).
+func SSOR(m *CSR, b, x []float64, omega float64, sweeps int) {
+	for s := 0; s < sweeps; s++ {
+		for dir := 0; dir < 2; dir++ {
+			start, end, step := 0, m.N, 1
+			if dir == 1 {
+				start, end, step = m.N-1, -1, -1
+			}
+			for r := start; r != end; r += step {
+				sum := b[r]
+				var diag float64
+				for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+					c := int(m.Col[k])
+					if c == r {
+						diag = m.Val[k]
+						continue
+					}
+					sum -= m.Val[k] * x[c]
+				}
+				if diag != 0 {
+					x[r] = (1-omega)*x[r] + omega*sum/diag
+				}
+			}
+		}
+	}
+}

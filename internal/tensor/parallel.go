@@ -1,0 +1,116 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxProcs caps the number of worker goroutines spawned by ParallelFor.
+// It defaults to GOMAXPROCS and can be lowered for reproducible profiling.
+var maxProcs = runtime.GOMAXPROCS(0)
+
+// SetParallelism overrides the worker count used by ParallelFor.
+// A value <= 0 restores the default (GOMAXPROCS). It returns the previous
+// setting so callers can restore it.
+func SetParallelism(n int) int {
+	prev := maxProcs
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxProcs = n
+	return prev
+}
+
+// Parallelism reports the current ParallelFor worker count.
+func Parallelism() int { return maxProcs }
+
+// parallelThreshold is the minimum iteration count below which ParallelFor
+// runs serially; goroutine fan-out costs more than it saves on tiny loops.
+const parallelThreshold = 256
+
+// ParallelFor runs body(i) for i in [0, n) across worker goroutines,
+// partitioning the range into contiguous blocks. It is the workhorse behind
+// the convolution and FEM kernels: one block per worker keeps memory access
+// streaming and avoids per-iteration channel traffic.
+func ParallelFor(n int, body func(i int)) {
+	ParallelRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ParallelRange partitions [0, n) into contiguous chunks and runs
+// body(lo, hi) on each chunk concurrently. Use this instead of ParallelFor
+// when the body can amortize per-chunk setup (scratch buffers, accumulators).
+func ParallelRange(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxProcs
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < parallelThreshold {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelReduce computes a sum over [0, n) where body(lo, hi) returns the
+// partial sum for its chunk. Partial sums are combined deterministically in
+// chunk order so results do not depend on goroutine scheduling.
+func ParallelReduce(n int, body func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	workers := maxProcs
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < parallelThreshold {
+		return body(0, n)
+	}
+	chunk := (n + workers - 1) / workers
+	parts := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w] = body(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	s := 0.0
+	for _, p := range parts {
+		s += p
+	}
+	return s
+}

@@ -1,0 +1,90 @@
+package unet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// snapshot is the gob wire format of a trained network: the architecture
+// config, the number of adaptation stages to replay, every parameter
+// tensor, and the batch-norm running statistics.
+type snapshot struct {
+	Cfg       Config
+	Adaptions int
+	Params    [][]float64
+	BNMeans   [][]float64
+	BNVars    [][]float64
+}
+
+// Save serializes the network (weights, adaptation structure and batch-norm
+// statistics) so cmd/mginfer can reload it.
+func (u *UNet) Save(w io.Writer) error {
+	s := snapshot{Cfg: u.Cfg, Adaptions: u.adaptions}
+	for _, p := range u.Params() {
+		buf := make([]float64, p.Data.Len())
+		copy(buf, p.Data.Data)
+		s.Params = append(s.Params, buf)
+	}
+	for _, bn := range collectBN(u) {
+		m := make([]float64, len(bn.RunningMean))
+		v := make([]float64, len(bn.RunningVar))
+		copy(m, bn.RunningMean)
+		copy(v, bn.RunningVar)
+		s.BNMeans = append(s.BNMeans, m)
+		s.BNVars = append(s.BNVars, v)
+	}
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// Load reconstructs a network saved with Save.
+func Load(r io.Reader) (*UNet, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("unet: decode snapshot: %w", err)
+	}
+	u := New(s.Cfg)
+	for i := 0; i < s.Adaptions; i++ {
+		u.Adapt()
+	}
+	ps := u.Params()
+	if len(ps) != len(s.Params) {
+		return nil, fmt.Errorf("unet: snapshot has %d parameter tensors, architecture expects %d", len(s.Params), len(ps))
+	}
+	for i, p := range ps {
+		if len(s.Params[i]) != p.Data.Len() {
+			return nil, fmt.Errorf("unet: parameter %d length %d, want %d", i, len(s.Params[i]), p.Data.Len())
+		}
+		copy(p.Data.Data, s.Params[i])
+	}
+	bns := collectBN(u)
+	if len(bns) != len(s.BNMeans) {
+		return nil, fmt.Errorf("unet: snapshot has %d batch-norm layers, architecture expects %d", len(s.BNMeans), len(bns))
+	}
+	for i, bn := range bns {
+		copy(bn.RunningMean, s.BNMeans[i])
+		copy(bn.RunningVar, s.BNVars[i])
+	}
+	return u, nil
+}
+
+// SaveFile writes the network to path.
+func (u *UNet) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return u.Save(f)
+}
+
+// LoadFile reads a network from path.
+func LoadFile(path string) (*UNet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

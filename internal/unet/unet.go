@@ -1,0 +1,361 @@
+// Package unet builds the fully convolutional U-Net used as the MGDiffNet
+// generator G_nn. The architecture follows §4.1 of the paper: depth-3
+// encoder/decoder with skip connections, convolution + batch-norm blocks,
+// LeakyReLU activations, a Sigmoid on the final layer, 16 starting filters
+// doubling with depth, and all downsampling by a factor of two — which makes
+// the network resolution-agnostic and therefore usable at every multigrid
+// level with the same weights.
+package unet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mgdiffnet/internal/nn"
+	"mgdiffnet/internal/tensor"
+)
+
+// Config describes a U-Net instance.
+type Config struct {
+	// Dim is the spatial dimensionality: 2 (NCHW) or 3 (NCDHW).
+	Dim int
+	// InChannels is the number of input field channels (1: diffusivity).
+	InChannels int
+	// OutChannels is the number of output field channels (1: solution).
+	OutChannels int
+	// Depth is the number of down/up-sampling stages (paper: 3).
+	Depth int
+	// BaseFilters is the channel count of the first level (paper: 16);
+	// filters double at every deeper level.
+	BaseFilters int
+	// Kernel is the convolution kernel size (3 with padding 1).
+	Kernel int
+	// NegSlope is the LeakyReLU negative slope.
+	NegSlope float64
+	// BatchNorm enables the batch-normalization layers of each block.
+	BatchNorm bool
+	// FinalSigmoid applies the paper's Sigmoid output activation; when
+	// false the output is linear (used in ablations).
+	FinalSigmoid bool
+	// Seed drives deterministic weight initialization.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's architecture for the given
+// dimensionality.
+func DefaultConfig(dim int) Config {
+	return Config{
+		Dim:          dim,
+		InChannels:   1,
+		OutChannels:  1,
+		Depth:        3,
+		BaseFilters:  16,
+		Kernel:       3,
+		NegSlope:     0.01,
+		BatchNorm:    true,
+		FinalSigmoid: true,
+		Seed:         42,
+	}
+}
+
+// block is one convolution + (optional) batch-norm + LeakyReLU unit.
+type block struct {
+	seq *nn.Sequential
+}
+
+func (b *block) forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return b.seq.Forward(x, train)
+}
+func (b *block) backward(g *tensor.Tensor) *tensor.Tensor { return b.seq.Backward(g) }
+func (b *block) params() []*nn.Param                      { return b.seq.Params() }
+
+// UNet is the fully convolutional encoder/decoder with skip connections.
+// It implements nn.Layer so it can be dropped anywhere a layer is expected.
+type UNet struct {
+	Cfg Config
+	rng *rand.Rand
+
+	enc  []*block // encoder blocks, one per level
+	pool []*nn.MaxPool
+	mid  *block     // bottleneck block
+	up   []nn.Layer // transpose convolutions, decoder order (deepest first)
+	dec  []*block   // decoder blocks, decoder order (deepest first)
+	head *nn.Sequential
+
+	// refinement holds extra layers appended by Adapt (§4.1.2);
+	// adaptions counts Adapt calls so serialization can replay them.
+	refinement []nn.Layer
+	adaptions  int
+
+	// caches for Backward
+	skipChannels []int
+}
+
+// New builds a U-Net from cfg. It panics on invalid configurations so that
+// construction errors surface at startup rather than mid-training.
+func New(cfg Config) *UNet {
+	if cfg.Dim != 2 && cfg.Dim != 3 {
+		panic(fmt.Sprintf("unet: Dim must be 2 or 3, got %d", cfg.Dim))
+	}
+	if cfg.Depth < 1 {
+		panic("unet: Depth must be >= 1")
+	}
+	if cfg.Kernel%2 == 0 {
+		panic("unet: Kernel must be odd so padding preserves extent")
+	}
+	u := &UNet{Cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	pad := cfg.Kernel / 2
+
+	ch := func(level int) int { return cfg.BaseFilters << level }
+
+	prev := cfg.InChannels
+	for l := 0; l < cfg.Depth; l++ {
+		u.enc = append(u.enc, u.newBlock(fmt.Sprintf("enc%d", l), prev, ch(l), cfg.Kernel, pad))
+		u.pool = append(u.pool, nn.NewMaxPool(2))
+		prev = ch(l)
+	}
+	u.mid = u.newBlock("mid", prev, ch(cfg.Depth), cfg.Kernel, pad)
+
+	// Decoder from deepest to shallowest.
+	for l := cfg.Depth - 1; l >= 0; l-- {
+		inCh := ch(l + 1)
+		u.up = append(u.up, u.newUp(fmt.Sprintf("up%d", l), inCh, ch(l)))
+		// After concat with the skip, channels are 2*ch(l).
+		u.dec = append(u.dec, u.newBlock(fmt.Sprintf("dec%d", l), 2*ch(l), ch(l), cfg.Kernel, pad))
+	}
+
+	final := u.newConv("final", cfg.BaseFilters, cfg.OutChannels, 1, 1, 0)
+	u.head = nn.NewSequential(final)
+	if cfg.FinalSigmoid {
+		u.head.Append(nn.NewSigmoid())
+	}
+	return u
+}
+
+func (u *UNet) newConv(name string, in, out, k, s, p int) nn.Layer {
+	if u.Cfg.Dim == 2 {
+		return nn.NewConv2D(u.rng, name, in, out, k, s, p)
+	}
+	return nn.NewConv3D(u.rng, name, in, out, k, s, p)
+}
+
+func (u *UNet) newConvT(name string, in, out, k, s, p int) nn.Layer {
+	if u.Cfg.Dim == 2 {
+		return nn.NewConvTranspose2D(u.rng, name, in, out, k, s, p)
+	}
+	return nn.NewConvTranspose3D(u.rng, name, in, out, k, s, p)
+}
+
+func (u *UNet) newUp(name string, in, out int) nn.Layer {
+	// Kernel 2 / stride 2 exactly doubles the extent (adjoint of pooling).
+	return u.newConvT(name, in, out, 2, 2, 0)
+}
+
+func (u *UNet) newBlock(name string, in, out, k, pad int) *block {
+	seq := nn.NewSequential(u.newConv(name+".conv", in, out, k, 1, pad))
+	if u.Cfg.BatchNorm {
+		seq.Append(nn.NewBatchNorm(name+".bn", out))
+	}
+	seq.Append(nn.NewLeakyReLU(u.Cfg.NegSlope))
+	return &block{seq: seq}
+}
+
+// MinInputSize returns the smallest spatial extent the network accepts:
+// the input must survive Depth halvings.
+func (u *UNet) MinInputSize() int { return 1 << u.Cfg.Depth }
+
+// checkInput validates shape constraints and panics with a precise message.
+func (u *UNet) checkInput(x *tensor.Tensor) {
+	wantRank := u.Cfg.Dim + 2
+	if x.Rank() != wantRank {
+		panic(fmt.Sprintf("unet: expected rank-%d input for %dD, got %v", wantRank, u.Cfg.Dim, x.Shape()))
+	}
+	if x.Dim(1) != u.Cfg.InChannels {
+		panic(fmt.Sprintf("unet: expected %d input channels, got %d", u.Cfg.InChannels, x.Dim(1)))
+	}
+	min := u.MinInputSize()
+	for i := 2; i < wantRank; i++ {
+		d := x.Dim(i)
+		if d < min || d%min != 0 {
+			panic(fmt.Sprintf("unet: spatial extent %d must be a positive multiple of %d", d, min))
+		}
+	}
+}
+
+// Forward implements nn.Layer. With train=true all activations needed by
+// Backward are cached inside the constituent layers.
+func (u *UNet) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	u.checkInput(x)
+	skips := make([]*tensor.Tensor, u.Cfg.Depth)
+	u.skipChannels = u.skipChannels[:0]
+	h := x
+	for l := 0; l < u.Cfg.Depth; l++ {
+		h = u.enc[l].forward(h, train)
+		skips[l] = h
+		u.skipChannels = append(u.skipChannels, h.Dim(1))
+		h = u.pool[l].Forward(h, train)
+	}
+	h = u.mid.forward(h, train)
+	for i := 0; i < u.Cfg.Depth; i++ {
+		l := u.Cfg.Depth - 1 - i
+		h = u.up[i].Forward(h, train)
+		h = nn.ConcatChannels(h, skips[l])
+		h = u.dec[i].forward(h, train)
+	}
+	for _, r := range u.refinement {
+		h = r.Forward(h, train)
+	}
+	return u.head.Forward(h, train)
+}
+
+// Backward implements nn.Layer, propagating through the skip topology.
+func (u *UNet) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := u.head.Backward(grad)
+	for i := len(u.refinement) - 1; i >= 0; i-- {
+		g = u.refinement[i].Backward(g)
+	}
+	skipGrads := make([]*tensor.Tensor, u.Cfg.Depth)
+	for i := u.Cfg.Depth - 1; i >= 0; i-- {
+		l := u.Cfg.Depth - 1 - i
+		g = u.dec[i].backward(g)
+		upCh := u.skipChannels[l] // up path emitted ch(l) channels, same as skip
+		var gs *tensor.Tensor
+		g, gs = nn.SplitChannels(g, upCh, u.skipChannels[l])
+		skipGrads[l] = gs
+		g = u.up[i].Backward(g)
+	}
+	g = u.mid.backward(g)
+	for l := u.Cfg.Depth - 1; l >= 0; l-- {
+		g = u.pool[l].Backward(g)
+		g.Add(skipGrads[l])
+		g = u.enc[l].backward(g)
+	}
+	return g
+}
+
+// Params implements nn.Layer.
+func (u *UNet) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, b := range u.enc {
+		ps = append(ps, b.params()...)
+	}
+	ps = append(ps, u.mid.params()...)
+	for i := range u.up {
+		ps = append(ps, u.up[i].Params()...)
+		ps = append(ps, u.dec[i].params()...)
+	}
+	for _, r := range u.refinement {
+		ps = append(ps, r.Params()...)
+	}
+	ps = append(ps, u.head.Params()...)
+	return ps
+}
+
+// ParamCount returns the total number of trainable scalars.
+func (u *UNet) ParamCount() int {
+	n := 0
+	for _, p := range u.Params() {
+		n += p.NumElements()
+	}
+	return n
+}
+
+// Adapt implements the paper's architectural adaptation (§4.1.2): when
+// moving from a coarse training level to a finer one, append one
+// convolutional layer and two stride-1 transpose-convolutional layers
+// (randomly initialized) before the output head, and remove the last
+// previously added transpose-convolutional layer if one exists. It returns
+// the freshly created parameters so the caller can register them with the
+// optimizer (see nn.Adam.ExtendParams).
+func (u *UNet) Adapt() []*nn.Param {
+	c := u.Cfg.BaseFilters
+	k := u.Cfg.Kernel
+	pad := k / 2
+
+	// Remove one learned transpose conv from the previous adaptation.
+	if n := len(u.refinement); n > 0 {
+		u.refinement = u.refinement[:n-1]
+	}
+
+	idx := len(u.refinement)
+	conv := u.newConv(fmt.Sprintf("adapt%d.conv", idx), c, c, k, 1, pad)
+	act1 := nn.NewLeakyReLU(u.Cfg.NegSlope)
+	// Stride-1 transpose convolutions preserve extent: (n-1) - 2*pad + k = n.
+	tc1 := u.newConvT(fmt.Sprintf("adapt%d.tconv1", idx), c, c, k, 1, pad)
+	act2 := nn.NewLeakyReLU(u.Cfg.NegSlope)
+	tc2 := u.newConvT(fmt.Sprintf("adapt%d.tconv2", idx), c, c, k, 1, pad)
+
+	u.refinement = append(u.refinement, conv, act1, tc1, act2, tc2)
+	u.adaptions++
+
+	var fresh []*nn.Param
+	fresh = append(fresh, conv.Params()...)
+	fresh = append(fresh, tc1.Params()...)
+	fresh = append(fresh, tc2.Params()...)
+	return fresh
+}
+
+// Clone returns a deep copy of the network (weights, batch-norm running
+// statistics, and adaptation stages). Distributed workers use this to build
+// identical model replicas.
+func (u *UNet) Clone() *UNet {
+	c := New(u.Cfg)
+	// Rebuild the same refinement structure by replaying Adapt.
+	for len(clonedRefinementParams(c)) < len(clonedRefinementParams(u)) {
+		c.Adapt()
+	}
+	dst := c.Params()
+	src := u.Params()
+	if len(dst) != len(src) {
+		panic("unet: Clone parameter mismatch")
+	}
+	for i := range dst {
+		dst[i].Data.CopyFrom(src[i].Data)
+	}
+	copyBN(c, u)
+	return c
+}
+
+func clonedRefinementParams(u *UNet) []*nn.Param {
+	var ps []*nn.Param
+	for _, r := range u.refinement {
+		ps = append(ps, r.Params()...)
+	}
+	return ps
+}
+
+// copyBN copies batch-norm running statistics from src to dst.
+func copyBN(dst, src *UNet) {
+	db, sb := collectBN(dst), collectBN(src)
+	for i := range db {
+		copy(db[i].RunningMean, sb[i].RunningMean)
+		copy(db[i].RunningVar, sb[i].RunningVar)
+	}
+}
+
+func collectBN(u *UNet) []*nn.BatchNorm {
+	var bns []*nn.BatchNorm
+	var scan func(l nn.Layer)
+	scan = func(l nn.Layer) {
+		switch v := l.(type) {
+		case *nn.BatchNorm:
+			bns = append(bns, v)
+		case *nn.Sequential:
+			for _, ll := range v.Layers {
+				scan(ll)
+			}
+		}
+	}
+	for _, b := range u.enc {
+		scan(b.seq)
+	}
+	scan(u.mid.seq)
+	for _, b := range u.dec {
+		scan(b.seq)
+	}
+	for _, r := range u.refinement {
+		scan(r)
+	}
+	scan(u.head)
+	return bns
+}
