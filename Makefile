@@ -1,0 +1,40 @@
+GO ?= go
+BENCH_OUT ?= BENCH_pr1.json
+
+.PHONY: all build vet test race bench ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/dist/ ./internal/tensor/
+
+ci: vet test
+
+# Run the strong-scaling benchmarks (Figure 9: allreduce ablation +
+# data-parallel epoch sweep) and save them as JSON to start the perf
+# trajectory; the raw `go test -bench` text is kept alongside.
+bench:
+	$(GO) test -run '^$$' -bench 'Figure9' -benchmem . | tee BENCH_raw.txt
+	awk 'BEGIN { print "[" } \
+	  /^Benchmark/ { \
+	    if (n++) printf(",\n"); \
+	    printf("  {\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s", $$1, $$2, $$3); \
+	    for (i = 5; i < NF; i += 2) { \
+	      key = $$(i+1); gsub(/[\/%]/, "_per_", key); \
+	      printf(",\"%s\":%s", key, $$i); \
+	    } \
+	    printf("}"); \
+	  } \
+	  END { print "\n]" }' BENCH_raw.txt > $(BENCH_OUT)
+
+clean:
+	rm -f BENCH_raw.txt

@@ -14,7 +14,6 @@ import (
 
 	"mgdiffnet/internal/dist"
 	"mgdiffnet/internal/experiments"
-	"mgdiffnet/internal/tensor"
 	"mgdiffnet/internal/unet"
 )
 
@@ -38,10 +37,8 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		prev := tensor.SetParallelism(runtime.GOMAXPROCS(0) / p)
-		pt.TimeEpoch() // warm-up
+		pt.TimeEpoch() // warm-up; TrainEpoch throttles kernels to GOMAXPROCS/p
 		dur, loss, err := pt.TimeEpoch()
-		tensor.SetParallelism(prev)
 		if err != nil {
 			panic(err)
 		}

@@ -1,0 +1,3 @@
+module mgdiffnet
+
+go 1.24

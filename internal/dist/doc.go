@@ -1,0 +1,15 @@
+// Package dist provides the distributed-training substrate of the
+// reproduction: a point-to-point Transport abstraction with an in-process
+// channel implementation, bandwidth-optimal ring allreduce (plus the naive
+// all-to-all baseline it is benchmarked against), a data-parallel
+// ParallelTrainer whose goroutine workers stand in for the paper's MPI
+// ranks, and slab-decomposed model-parallel inference with halo exchange.
+//
+// The paper (§3.2) trains on megavoxel domains by sharding each global
+// mini-batch across devices, computing local gradients of the variational
+// loss, and averaging them with an allreduce before identical optimizer
+// steps — which keeps every replica bit-for-bit synchronized (Eq. 15's
+// worker-count independence). ParallelTrainer reproduces exactly that
+// structure at laptop scale; internal/perfmodel projects the same code
+// path onto the paper's Azure and Bridges2 clusters.
+package dist

@@ -1,0 +1,206 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"mgdiffnet/internal/tensor"
+	"mgdiffnet/internal/unet"
+)
+
+// HaloFor returns the halo width (in rows of the first spatial axis) that
+// SpatialInference needs to reproduce the monolithic forward pass of net
+// exactly: the receptive-field radius, rounded up to a multiple of the
+// network's minimum input size so slab inputs stay aligned with the 2×
+// pooling grid of the full-domain pass.
+func HaloFor(net *unet.UNet) int {
+	m := net.MinInputSize()
+	r := net.ReceptiveFieldRadius()
+	return (r + m - 1) / m * m
+}
+
+// SpatialInference evaluates a U-Net on a domain decomposed into slabs
+// along the first spatial axis — the paper's model-parallel extension
+// (§5): each worker owns one slab, exchanges halo rows with its ring
+// neighbors through the Transport, runs the forward pass on its extended
+// slab, and keeps only the interior. Because the halo covers the
+// receptive field and slab boundaries are aligned with the pooling grid,
+// every retained output value is computed from exactly the same inputs,
+// in the same order, as the monolithic pass — the results agree
+// bit-for-bit, not just approximately.
+type SpatialInference struct {
+	workers int
+	halo    int
+	nets    []*unet.UNet // one clone per worker: forward caches are per-replica
+	trs     []Transport
+}
+
+// NewSpatialInference builds a slab-decomposed evaluator over workers
+// clones of net. halo is the overlap in rows on each interior slab
+// boundary; pass HaloFor(net) for an exact decomposition.
+func NewSpatialInference(net *unet.UNet, workers, halo int) (*SpatialInference, error) {
+	if net == nil {
+		return nil, fmt.Errorf("dist: nil network")
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("dist: workers must be >= 1, got %d", workers)
+	}
+	m := net.MinInputSize()
+	if workers > 1 {
+		if halo < net.ReceptiveFieldRadius() {
+			return nil, fmt.Errorf("dist: halo %d smaller than receptive-field radius %d; slabs would not match the monolithic forward",
+				halo, net.ReceptiveFieldRadius())
+		}
+		if halo%m != 0 {
+			return nil, fmt.Errorf("dist: halo %d must be a multiple of the U-Net minimum input size %d", halo, m)
+		}
+	}
+	si := &SpatialInference{workers: workers, halo: halo}
+	for w := 0; w < workers; w++ {
+		si.nets = append(si.nets, net.Clone())
+	}
+	if workers > 1 {
+		si.trs = NewChannelRing(workers)
+	}
+	return si, nil
+}
+
+// Workers returns the slab count.
+func (s *SpatialInference) Workers() int { return s.workers }
+
+// Halo returns the configured halo width.
+func (s *SpatialInference) Halo() int { return s.halo }
+
+// tailSize returns the number of elements per row of the first spatial
+// axis (W in 2D, H·W in 3D).
+func tailSize(t *tensor.Tensor) int {
+	n := 1
+	for i := 3; i < t.Rank(); i++ {
+		n *= t.Dim(i)
+	}
+	return n
+}
+
+// copyRows copies rows [srcLo, srcLo+rows) of src's first spatial axis
+// into dst starting at row dstLo. Batch, channel, and trailing spatial
+// dimensions of the two tensors must agree.
+func copyRows(dst, src *tensor.Tensor, dstLo, srcLo, rows int) {
+	nc := src.Dim(0) * src.Dim(1)
+	tail := tailSize(src)
+	hs, hd := src.Dim(2), dst.Dim(2)
+	for i := 0; i < nc; i++ {
+		sBase := (i*hs + srcLo) * tail
+		dBase := (i*hd + dstLo) * tail
+		copy(dst.Data[dBase:dBase+rows*tail], src.Data[sBase:sBase+rows*tail])
+	}
+}
+
+// Forward evaluates the decomposed network on x ([N, C, H, ...]) and
+// returns the full-domain output, identical to nets[0].Forward(x, false).
+func (s *SpatialInference) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	cfg := s.nets[0].Cfg
+	wantRank := cfg.Dim + 2
+	if x.Rank() != wantRank {
+		return nil, fmt.Errorf("dist: expected rank-%d input for %dD, got %v", wantRank, cfg.Dim, x.Shape())
+	}
+	if x.Dim(1) != cfg.InChannels {
+		return nil, fmt.Errorf("dist: expected %d input channels, got %d", cfg.InChannels, x.Dim(1))
+	}
+	m := s.nets[0].MinInputSize()
+	// Validate every spatial extent here rather than letting the network
+	// panic inside a worker goroutine (which would kill the process).
+	for i := 2; i < wantRank; i++ {
+		if d := x.Dim(i); d < m || d%m != 0 {
+			return nil, fmt.Errorf("dist: spatial extent %d must be a positive multiple of %d", d, m)
+		}
+	}
+	if s.workers == 1 {
+		return s.nets[0].Forward(x, false), nil
+	}
+	H := x.Dim(2)
+	if H%s.workers != 0 {
+		return nil, fmt.Errorf("dist: extent %d not divisible into %d slabs", H, s.workers)
+	}
+	slab := H / s.workers
+	if slab%m != 0 {
+		return nil, fmt.Errorf("dist: slab height %d must be a multiple of the U-Net minimum input size %d", slab, m)
+	}
+	if s.halo > slab {
+		return nil, fmt.Errorf("dist: halo %d exceeds slab height %d; use fewer workers or a larger domain", s.halo, slab)
+	}
+
+	outShape := append([]int(nil), x.Shape()...)
+	outShape[1] = cfg.OutChannels
+	out := tensor.New(outShape...)
+	tailDims := x.Shape()[3:]
+	N, C := x.Dim(0), x.Dim(1)
+	haloShape := append([]int{N, C, s.halo}, tailDims...)
+
+	errs := make([]error, s.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = s.forwardSlab(w, x, out, slab, haloShape)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// forwardSlab is one worker's share of Forward: exchange halos with the
+// ring neighbors, run the network on the extended slab, keep the interior.
+func (s *SpatialInference) forwardSlab(w int, x, out *tensor.Tensor, slab int, haloShape []int) error {
+	lo, hi := w*slab, (w+1)*slab
+	lo2, hi2 := lo, hi
+	if w > 0 {
+		lo2 = lo - s.halo
+	}
+	if w < s.workers-1 {
+		hi2 = hi + s.halo
+	}
+
+	extShape := append([]int(nil), x.Shape()...)
+	extShape[2] = hi2 - lo2
+	ext := tensor.New(extShape...)
+	copyRows(ext, x, lo-lo2, lo, slab) // the rows this worker owns
+
+	// Halo exchange: boundary rows travel through the transport, exactly
+	// as they would between MPI ranks that each hold only their slab.
+	tr := s.trs[w]
+	buf := tensor.New(haloShape...)
+	if w > 0 {
+		copyRows(buf, x, 0, lo, s.halo) // my top rows → left neighbor
+		if err := tr.Send(w-1, buf.Data); err != nil {
+			return err
+		}
+	}
+	if w < s.workers-1 {
+		copyRows(buf, x, 0, hi-s.halo, s.halo) // my bottom rows → right neighbor
+		if err := tr.Send(w+1, buf.Data); err != nil {
+			return err
+		}
+	}
+	if w > 0 {
+		if err := tr.Recv(w-1, buf.Data); err != nil {
+			return err
+		}
+		copyRows(ext, buf, 0, 0, s.halo)
+	}
+	if w < s.workers-1 {
+		if err := tr.Recv(w+1, buf.Data); err != nil {
+			return err
+		}
+		copyRows(ext, buf, (hi-lo2), 0, s.halo)
+	}
+
+	y := s.nets[w].Forward(ext, false)
+	copyRows(out, y, lo, lo-lo2, slab)
+	return nil
+}

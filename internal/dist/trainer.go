@@ -1,0 +1,296 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"mgdiffnet/internal/fem"
+	"mgdiffnet/internal/field"
+	"mgdiffnet/internal/nn"
+	"mgdiffnet/internal/tensor"
+	"mgdiffnet/internal/unet"
+)
+
+// DataSource supplies batched coefficient fields at any resolution. It
+// mirrors core.DataSource (declared locally so dist does not depend on the
+// training-schedule layer) and is satisfied by field.Dataset and
+// field.InclusionDataset. Implementations must be safe for concurrent
+// Batch calls from worker goroutines.
+type DataSource interface {
+	Len() int
+	Batch(start, count, res int) *tensor.Tensor
+}
+
+// ParallelConfig drives a data-parallel training run (§3.2 of the paper).
+type ParallelConfig struct {
+	// Workers is the number of model replicas p (MPI ranks in the paper,
+	// goroutines here).
+	Workers int
+	// Dim is the spatial dimensionality (2 or 3).
+	Dim int
+	// Res is the nodal training resolution.
+	Res int
+	// Samples is the number of Sobol-sampled diffusivity maps.
+	Samples int
+	// GlobalBatch is the global mini-batch size B, sharded across workers;
+	// each replica sees a contiguous B/p-sized slice.
+	GlobalBatch int
+	// LR is the Adam learning rate (paper: 1e-4 for the scaling study).
+	LR float64
+	// Seed fixes weight initialization; every replica uses the same seed
+	// so all start from identical parameters.
+	Seed int64
+	// Net overrides the default U-Net configuration when non-nil (Dim and
+	// Seed are forced to match this config).
+	Net *unet.Config
+	// Data overrides the default Sobol dataset when non-nil.
+	Data DataSource
+}
+
+// replica is one data-parallel worker: its own model, loss, and optimizer,
+// plus the flat gradient buffer exchanged through the allreduce. The last
+// element of flat carries the replica's weighted mini-batch loss, so the
+// same allreduce that averages gradients also produces the global loss.
+type replica struct {
+	net    *unet.UNet
+	loss   *fem.EnergyLoss
+	opt    *nn.Adam
+	params []*nn.Param
+	flat   []float64
+}
+
+type workerResult struct {
+	rank int
+	loss float64
+	err  error
+}
+
+// ParallelTrainer trains identical U-Net replicas with synchronous
+// data-parallel SGD: each global mini-batch is sharded across workers,
+// local gradients of the variational loss are averaged with RingAllReduce,
+// and every replica applies the same Adam step. Because gradient averaging
+// is bit-deterministic, the replica parameters stay exactly synchronized,
+// checked by MaxReplicaDivergence.
+//
+// Worker-count independence (Eq. 15) — the same training trajectory for
+// every p — additionally requires the local gradients to be independent of
+// the sharding. That holds for every pure layer, but batch normalization
+// computes statistics over the local B/p shard (as in standard
+// data-parallel frameworks, which do not sync batch stats), so with
+// BatchNorm enabled the trajectory and the replicas' running statistics
+// depend on p even though the parameters still match bit-for-bit. The
+// paper's scaling study — and every harness in this repository — runs the
+// scaling nets with BatchNorm disabled.
+type ParallelTrainer struct {
+	Cfg  ParallelConfig
+	data DataSource
+
+	reps []*replica
+	trs  []Transport
+	cmds []chan struct{}
+	res  chan workerResult
+
+	closeOnce sync.Once
+}
+
+// NewParallelTrainer validates cfg, builds one replica per worker, and
+// starts the long-lived worker goroutines.
+func NewParallelTrainer(cfg ParallelConfig) (*ParallelTrainer, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("dist: Workers must be >= 1, got %d", cfg.Workers)
+	}
+	if cfg.Dim != 2 && cfg.Dim != 3 {
+		return nil, fmt.Errorf("dist: Dim must be 2 or 3, got %d", cfg.Dim)
+	}
+	if cfg.Samples < 1 || cfg.GlobalBatch < 1 {
+		return nil, fmt.Errorf("dist: Samples and GlobalBatch must be >= 1")
+	}
+	var ncfg unet.Config
+	if cfg.Net != nil {
+		ncfg = *cfg.Net
+	} else {
+		ncfg = unet.DefaultConfig(cfg.Dim)
+	}
+	ncfg.Dim = cfg.Dim
+	ncfg.Seed = cfg.Seed
+
+	probe := unet.New(ncfg)
+	if m := probe.MinInputSize(); cfg.Res < m || cfg.Res%m != 0 {
+		return nil, fmt.Errorf("dist: Res %d must be a positive multiple of the U-Net minimum %d", cfg.Res, m)
+	}
+
+	data := cfg.Data
+	if data == nil {
+		data = field.NewDataset(cfg.Samples, cfg.Dim)
+	}
+
+	pt := &ParallelTrainer{
+		Cfg:  cfg,
+		data: data,
+		reps: make([]*replica, cfg.Workers),
+		trs:  NewChannelRing(cfg.Workers),
+		cmds: make([]chan struct{}, cfg.Workers),
+		res:  make(chan workerResult, cfg.Workers),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		net := probe
+		if w > 0 {
+			// Same config and seed: identical initial weights on every rank.
+			net = unet.New(ncfg)
+		}
+		params := net.Params()
+		n := 0
+		for _, p := range params {
+			n += p.NumElements()
+		}
+		pt.reps[w] = &replica{
+			net:    net,
+			loss:   fem.NewEnergyLoss(cfg.Dim),
+			opt:    nn.NewAdam(params, cfg.LR),
+			params: params,
+			flat:   make([]float64, n+1), // +1: the loss rides the allreduce
+		}
+		pt.cmds[w] = make(chan struct{}, 1)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		go pt.workerLoop(w)
+	}
+	return pt, nil
+}
+
+func (pt *ParallelTrainer) workerLoop(w int) {
+	for range pt.cmds[w] {
+		loss, err := pt.runEpoch(w)
+		pt.res <- workerResult{rank: w, loss: loss, err: err}
+	}
+}
+
+// runEpoch executes one epoch on worker w: for every global mini-batch it
+// computes the local shard's gradient, scales it by the shard weight,
+// allreduces to the global-batch mean gradient, and applies one Adam step.
+func (pt *ParallelTrainer) runEpoch(w int) (float64, error) {
+	r := pt.reps[w]
+	p := pt.Cfg.Workers
+	B := pt.Cfg.GlobalBatch
+	nb := (pt.Cfg.Samples + B - 1) / B
+	// Contiguous shard [lo, hi) of the global batch; balanced to within one
+	// sample. Workers with an empty shard still join every allreduce.
+	lo := w * B / p
+	hi := (w + 1) * B / p
+	weight := float64(hi-lo) / float64(B)
+	lossSlot := len(r.flat) - 1
+
+	total := 0.0
+	for mb := 0; mb < nb; mb++ {
+		if hi <= lo {
+			// Empty shard: contribute zeros to the allreduce.
+			for i := range r.flat {
+				r.flat[i] = 0
+			}
+		} else {
+			nu := pt.data.Batch(mb*B+lo, hi-lo, pt.Cfg.Res)
+			nn.ZeroGrads(r.net)
+			pred := r.net.Forward(nu, true)
+			lossVal, grad := r.loss.Eval(pred, nu)
+			r.net.Backward(grad)
+			k := 0
+			for _, pr := range r.params {
+				for _, g := range pr.Grad.Data {
+					r.flat[k] = g * weight
+					k++
+				}
+			}
+			r.flat[lossSlot] = lossVal * weight
+		}
+		if err := RingAllReduce(w, p, r.flat, pt.trs[w]); err != nil {
+			return 0, err
+		}
+		k := 0
+		for _, pr := range r.params {
+			for j := range pr.Grad.Data {
+				pr.Grad.Data[j] = r.flat[k]
+				k++
+			}
+		}
+		r.opt.Step()
+		total += r.flat[lossSlot]
+	}
+	return total / float64(nb), nil
+}
+
+// TrainEpoch runs one synchronous data-parallel epoch and returns the mean
+// global mini-batch loss (identical on every replica by construction).
+//
+// For the duration of the epoch the tensor kernel parallelism is throttled
+// to GOMAXPROCS/Workers so the p in-process replicas do not oversubscribe
+// the CPU with their own parallel kernels — the analogue of pinning OpenMP
+// threads per MPI rank. The previous setting is restored before returning.
+func (pt *ParallelTrainer) TrainEpoch() (float64, error) {
+	prev := tensor.SetParallelism(max(1, runtime.GOMAXPROCS(0)/pt.Cfg.Workers))
+	defer tensor.SetParallelism(prev)
+	for _, c := range pt.cmds {
+		c <- struct{}{}
+	}
+	var loss float64
+	var firstErr error
+	for range pt.reps {
+		r := <-pt.res
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		if r.rank == 0 {
+			loss = r.loss
+		}
+	}
+	return loss, firstErr
+}
+
+// TimeEpoch runs TrainEpoch under a wall-clock timer.
+func (pt *ParallelTrainer) TimeEpoch() (time.Duration, float64, error) {
+	start := time.Now()
+	loss, err := pt.TrainEpoch()
+	return time.Since(start), loss, err
+}
+
+// MaxReplicaDivergence returns the largest absolute parameter difference
+// between replica 0 and any other replica. Synchronous gradient averaging
+// with a deterministic allreduce keeps this exactly zero; a non-zero value
+// means the implementation broke replica consistency. Only trainable
+// parameters are compared — batch-norm running statistics are per-replica
+// (see the type comment). It must not be called concurrently with
+// TrainEpoch.
+func (pt *ParallelTrainer) MaxReplicaDivergence() float64 {
+	maxd := 0.0
+	base := pt.reps[0].params
+	for _, r := range pt.reps[1:] {
+		for i, p0 := range base {
+			d0, d1 := p0.Data.Data, r.params[i].Data.Data
+			for j := range d0 {
+				if d := math.Abs(d0[j] - d1[j]); d > maxd {
+					maxd = d
+				}
+			}
+		}
+	}
+	return maxd
+}
+
+// Params returns replica 0's parameters (the canonical model: all replicas
+// are identical while training is synchronous).
+func (pt *ParallelTrainer) Params() []*nn.Param { return pt.reps[0].params }
+
+// Net returns replica 0's network.
+func (pt *ParallelTrainer) Net() *unet.UNet { return pt.reps[0].net }
+
+// Close shuts down the worker goroutines. The trainer must not be used
+// after Close; Close is idempotent.
+func (pt *ParallelTrainer) Close() {
+	pt.closeOnce.Do(func() {
+		for _, c := range pt.cmds {
+			close(c)
+		}
+	})
+}

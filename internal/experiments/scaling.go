@@ -7,7 +7,6 @@ import (
 
 	"mgdiffnet/internal/dist"
 	"mgdiffnet/internal/perfmodel"
-	"mgdiffnet/internal/tensor"
 	"mgdiffnet/internal/unet"
 )
 
@@ -63,16 +62,13 @@ func Figure9(sc Scale) (*Figure9Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		// With p in-process workers each replica must not oversubscribe the
-		// CPU with its own parallel kernels.
-		prev := tensor.SetParallelism(max(1, runtime.GOMAXPROCS(0)/p))
+		// TrainEpoch itself throttles kernel parallelism to GOMAXPROCS/p so
+		// the in-process replicas do not oversubscribe the CPU.
 		if _, _, err := pt.TimeEpoch(); err != nil { // warm-up
-			tensor.SetParallelism(prev)
 			pt.Close()
 			return nil, err
 		}
 		dur, loss, err := pt.TimeEpoch()
-		tensor.SetParallelism(prev)
 		pt.Close()
 		if err != nil {
 			return nil, err

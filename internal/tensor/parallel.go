@@ -3,26 +3,30 @@ package tensor
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // maxProcs caps the number of worker goroutines spawned by ParallelFor.
 // It defaults to GOMAXPROCS and can be lowered for reproducible profiling.
-var maxProcs = runtime.GOMAXPROCS(0)
+// It is atomic because distributed trainers adjust it around concurrent
+// epochs (each in-process replica gets GOMAXPROCS/p kernel workers) while
+// worker goroutines are reading it.
+var maxProcs atomic.Int64
+
+func init() { maxProcs.Store(int64(runtime.GOMAXPROCS(0))) }
 
 // SetParallelism overrides the worker count used by ParallelFor.
 // A value <= 0 restores the default (GOMAXPROCS). It returns the previous
 // setting so callers can restore it.
 func SetParallelism(n int) int {
-	prev := maxProcs
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	maxProcs = n
-	return prev
+	return int(maxProcs.Swap(int64(n)))
 }
 
 // Parallelism reports the current ParallelFor worker count.
-func Parallelism() int { return maxProcs }
+func Parallelism() int { return int(maxProcs.Load()) }
 
 // parallelThreshold is the minimum iteration count below which ParallelFor
 // runs serially; goroutine fan-out costs more than it saves on tiny loops.
@@ -47,7 +51,7 @@ func ParallelRange(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	workers := maxProcs
+	workers := int(maxProcs.Load())
 	if workers > n {
 		workers = n
 	}
@@ -82,7 +86,7 @@ func ParallelReduce(n int, body func(lo, hi int) float64) float64 {
 	if n <= 0 {
 		return 0
 	}
-	workers := maxProcs
+	workers := int(maxProcs.Load())
 	if workers > n {
 		workers = n
 	}

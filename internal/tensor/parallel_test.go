@@ -1,0 +1,62 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+// Distributed trainers call SetParallelism around concurrent epochs while
+// replica goroutines are inside ParallelRange; run both under -race to
+// guard the atomic access to the worker-count setting.
+func TestSetParallelismConcurrentWithParallelRange(t *testing.T) {
+	defer SetParallelism(0)
+	const n = 4 * parallelThreshold
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				SetParallelism(1 + i%4)
+			}
+		}
+	}()
+	out := make([]float64, n)
+	for iter := 0; iter < 50; iter++ {
+		ParallelRange(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = float64(i)
+			}
+		})
+		if s := ParallelReduce(n, func(lo, hi int) float64 {
+			acc := 0.0
+			for i := lo; i < hi; i++ {
+				acc += out[i]
+			}
+			return acc
+		}); s != float64(n)*float64(n-1)/2 {
+			t.Fatalf("iter %d: bad reduction %g", iter, s)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSetParallelismRestoresPrevious(t *testing.T) {
+	orig := Parallelism()
+	prev := SetParallelism(3)
+	if prev != orig {
+		t.Fatalf("Swap returned %d, want %d", prev, orig)
+	}
+	if Parallelism() != 3 {
+		t.Fatalf("Parallelism() = %d, want 3", Parallelism())
+	}
+	SetParallelism(prev)
+	if Parallelism() != orig {
+		t.Fatalf("restore failed: %d != %d", Parallelism(), orig)
+	}
+}

@@ -164,6 +164,39 @@ func (u *UNet) newBlock(name string, in, out, k, pad int) *block {
 // the input must survive Depth halvings.
 func (u *UNet) MinInputSize() int { return 1 << u.Cfg.Depth }
 
+// ReceptiveFieldRadius returns the half-width of the network's receptive
+// field along one spatial axis: output values more than this many rows
+// from an artificially introduced boundary are unaffected by it. The
+// slab-decomposed inference in internal/dist sizes its halo exchange from
+// this bound.
+//
+// The receptive-field size grows by (k-1)·jump per convolution and by
+// jump per 2× max-pool, where jump is the product of strides below the
+// layer; the kernel-2/stride-2 transpose convolutions add nothing because
+// every output depends on exactly one input.
+func (u *UNet) ReceptiveFieldRadius() int {
+	k := u.Cfg.Kernel
+	rf, jump := 1, 1
+	for l := 0; l < u.Cfg.Depth; l++ {
+		rf += (k - 1) * jump // encoder conv
+		rf += jump           // 2× max-pool
+		jump *= 2
+	}
+	rf += (k - 1) * jump // bottleneck conv
+	for l := u.Cfg.Depth - 1; l >= 0; l-- {
+		jump /= 2
+		rf += (k - 1) * jump // decoder conv (skip paths are strictly narrower)
+	}
+	for _, r := range u.refinement {
+		// Adapt appends stride-1 conv and transpose-conv layers (kernel k)
+		// plus activations; only the former widen the field.
+		if len(r.Params()) > 0 {
+			rf += k - 1
+		}
+	}
+	return rf / 2
+}
+
 // checkInput validates shape constraints and panics with a precise message.
 func (u *UNet) checkInput(x *tensor.Tensor) {
 	wantRank := u.Cfg.Dim + 2
