@@ -1,5 +1,5 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr1.json
+BENCH_OUT ?= BENCH_pr2.json
 
 .PHONY: all build vet test race bench ci clean
 
@@ -15,15 +15,16 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/dist/ ./internal/tensor/
+	$(GO) test -race ./internal/nn/ ./internal/tensor/ ./internal/dist/
 
 ci: vet test
 
 # Run the strong-scaling benchmarks (Figure 9: allreduce ablation +
-# data-parallel epoch sweep) and save them as JSON to start the perf
-# trajectory; the raw `go test -bench` text is kept alongside.
+# data-parallel epoch sweep) plus the Conv3D direct-vs-GEMM lowering
+# ablation, and save them as JSON to extend the perf trajectory; the raw
+# `go test -bench` text is kept alongside.
 bench:
-	$(GO) test -run '^$$' -bench 'Figure9' -benchmem . | tee BENCH_raw.txt
+	$(GO) test -run '^$$' -bench 'Figure9|AblationConv3D' -benchmem . | tee BENCH_raw.txt
 	awk 'BEGIN { print "[" } \
 	  /^Benchmark/ { \
 	    if (n++) printf(",\n"); \

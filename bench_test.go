@@ -384,6 +384,70 @@ func BenchmarkAblationConvLowering(b *testing.B) {
 	})
 }
 
+// BenchmarkAblationConv3DLowering compares the direct 7-deep Conv3D loops
+// against the Im2Col3D+GEMM lowering at the volumetric shapes of the 3D
+// DiffNet (the acceptance shape is the 64³ forward). Short mode keeps only
+// the 32³ smoke so the GEMM path still compiles and runs on every PR.
+func BenchmarkAblationConv3DLowering(b *testing.B) {
+	rng := nn.NewRNG(52)
+	for _, res := range []int{32, 64} {
+		if testing.Short() && res > 32 {
+			continue
+		}
+		c := nn.NewConv3D(rng, "c", 4, 8, 3, 1, 1)
+		x := tensor.New(1, 4, res, res, res)
+		for i := range x.Data {
+			x.Data[i] = float64(i%13) * 0.1
+		}
+		b.Run(fmt.Sprintf("res%d/Direct", res), func(b *testing.B) {
+			c.Algo = nn.ConvDirect
+			for i := 0; i < b.N; i++ {
+				c.Forward(x, false)
+			}
+		})
+		b.Run(fmt.Sprintf("res%d/Im2colGEMM", res), func(b *testing.B) {
+			c.Algo = nn.ConvGEMM
+			for i := 0; i < b.N; i++ {
+				c.Forward(x, false)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationConv3DBackward is the training-path half of the 3D
+// lowering ablation: direct loops vs col2im GEMM gradients.
+func BenchmarkAblationConv3DBackward(b *testing.B) {
+	rng := nn.NewRNG(53)
+	res := 32
+	if testing.Short() {
+		res = 16
+	}
+	c := nn.NewConv3D(rng, "c", 4, 8, 3, 1, 1)
+	x := tensor.New(1, 4, res, res, res)
+	for i := range x.Data {
+		x.Data[i] = float64(i%19) * 0.07
+	}
+	out := c.Forward(x, true)
+	gradOut := tensor.New(out.Shape()...)
+	for i := range gradOut.Data {
+		gradOut.Data[i] = float64(i%23) * 0.03
+	}
+	b.Run("Direct", func(b *testing.B) {
+		c.Algo = nn.ConvDirect
+		for i := 0; i < b.N; i++ {
+			nn.ZeroGrads(c)
+			c.Backward(gradOut)
+		}
+	})
+	b.Run("Im2colGEMM", func(b *testing.B) {
+		c.Algo = nn.ConvGEMM
+		for i := 0; i < b.N; i++ {
+			nn.ZeroGrads(c)
+			c.Backward(gradOut)
+		}
+	})
+}
+
 // BenchmarkMatMul compares the blocked parallel GEMM with the naive loop.
 func BenchmarkMatMul(b *testing.B) {
 	const n = 192

@@ -38,14 +38,20 @@ func parseOmega(s string) (field.Omega, error) {
 	return w, nil
 }
 
-func writeCSV(path string, f *tensor.Tensor) error {
+func writeCSV(path string, f *tensor.Tensor) (err error) {
 	out, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer out.Close()
+	// The csv writer buffers, so a full disk or closed pipe only surfaces
+	// at Flush/Close time; both must be checked or the field is silently
+	// truncated.
+	defer func() {
+		if cerr := out.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	cw := csv.NewWriter(out)
-	defer cw.Flush()
 	res := f.Dim(f.Rank() - 1)
 	rows := f.Len() / res
 	rec := make([]string, res)
@@ -57,7 +63,8 @@ func writeCSV(path string, f *tensor.Tensor) error {
 			return err
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
 }
 
 func main() {

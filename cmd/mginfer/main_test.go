@@ -38,3 +38,23 @@ func TestWriteCSV(t *testing.T) {
 		t.Fatalf("csv content %q", string(data))
 	}
 }
+
+// The csv writer buffers whole fields; write errors only surface when the
+// buffer is flushed, so writeCSV must report them instead of silently
+// truncating the solution. /dev/full fails every flushed write with ENOSPC.
+func TestWriteCSVReportsFlushError(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	f := tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	if err := writeCSV("/dev/full", f); err == nil {
+		t.Fatal("expected an error writing to /dev/full")
+	}
+}
+
+func TestWriteCSVCreateError(t *testing.T) {
+	f := tensor.FromSlice([]float64{1}, 1, 1)
+	if err := writeCSV(t.TempDir()+"/missing/field.csv", f); err == nil {
+		t.Fatal("expected an error for an uncreatable path")
+	}
+}

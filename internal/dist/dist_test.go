@@ -283,6 +283,63 @@ func TestSpatialInferenceMatchesMonolithic3D(t *testing.T) {
 	}
 }
 
+// At 32³ the full-resolution layers cross the nn.ConvAuto threshold and
+// run the im2col+GEMM lowering; slabs may straddle the threshold, so the
+// decomposition is exact to floating-point roundoff rather than bitwise
+// (see the SpatialInference doc comment).
+func TestSpatialInferenceGEMMLowering3D(t *testing.T) {
+	cfg := unet.DefaultConfig(3)
+	cfg.BaseFilters = 2
+	cfg.Depth = 2
+	net := unet.New(cfg)
+	x := spatialTestInput(3, 32)
+	want := net.Forward(x, false)
+	si, err := NewSpatialInference(net, 2, HaloFor(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := si.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxd := 0.0
+	for i := range want.Data {
+		if d := math.Abs(got.Data[i] - want.Data[i]); d > maxd {
+			maxd = d
+		}
+	}
+	if maxd > 1e-12 {
+		t.Fatalf("max deviation %g from monolithic GEMM forward", maxd)
+	}
+}
+
+// Data-parallel training through the GEMM-lowered Conv3D path: kernel
+// selection depends only on the per-sample volume, so sharding the batch
+// across replicas must keep them bit-identical.
+func TestParallelTrainerGEMMLoweringStaysInSync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32³ epoch in short mode")
+	}
+	pt, err := NewParallelTrainer(ParallelConfig{
+		Workers: 2, Dim: 3, Res: 32, Samples: 2, GlobalBatch: 2,
+		LR: 1e-3, Seed: 21, Net: smallNet(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pt.Close()
+	loss, err := pt.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 || math.IsNaN(loss) {
+		t.Fatalf("bad loss %g", loss)
+	}
+	if div := pt.MaxReplicaDivergence(); div != 0 {
+		t.Fatalf("replicas diverged by %g through the GEMM path", div)
+	}
+}
+
 func TestHaloForAlignment(t *testing.T) {
 	for _, dim := range []int{2, 3} {
 		for _, depth := range []int{1, 2, 3} {

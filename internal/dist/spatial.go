@@ -25,9 +25,15 @@ func HaloFor(net *unet.UNet) int {
 // neighbors through the Transport, runs the forward pass on its extended
 // slab, and keeps only the interior. Because the halo covers the
 // receptive field and slab boundaries are aligned with the pooling grid,
-// every retained output value is computed from exactly the same inputs,
-// in the same order, as the monolithic pass — the results agree
-// bit-for-bit, not just approximately.
+// every retained output value is computed from exactly the same inputs as
+// the monolithic pass.
+//
+// When both passes execute the same convolution kernels the results agree
+// bit-for-bit. With the automatic im2col+GEMM lowering (nn.ConvAuto, the
+// 3D default) a slab's smaller extended volume can select a different
+// kernel than the monolithic pass near the size threshold, in which case
+// the results agree to floating-point summation order (≲1e-13) instead;
+// pin unet.Config.DirectConv to recover exact bitwise equality.
 type SpatialInference struct {
 	workers int
 	halo    int

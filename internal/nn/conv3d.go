@@ -6,20 +6,82 @@ import (
 	"mgdiffnet/internal/tensor"
 )
 
+// ConvAlgo selects how a convolution layer executes its kernels.
+type ConvAlgo int
+
+const (
+	// ConvAuto (the zero value) lowers to im2col+GEMM when the output
+	// volume is large enough to amortize the materialized column matrix
+	// and falls back to the direct loops otherwise.
+	ConvAuto ConvAlgo = iota
+	// ConvDirect forces the nested direct loops — the correctness oracle
+	// the GEMM path is tested against.
+	ConvDirect
+	// ConvGEMM forces the im2col+GEMM lowering regardless of size.
+	ConvGEMM
+)
+
+// conv3dGEMMMinVolume is the per-sample output voxel count above which
+// ConvAuto switches Conv3D to the GEMM lowering. The threshold is
+// deliberately a function of the per-sample volume only — not the batch
+// size — so data-parallel batch sharding (dist.ParallelTrainer) cannot
+// change which kernel a replica picks. Memory never enters the decision:
+// the lowering streams depth slabs through a bounded scratch buffer
+// (conv3dSlabElems), so its footprint is O(slab), not O(volume).
+const conv3dGEMMMinVolume = 32 * 32 * 32
+
 // Conv3D is a 3D cross-correlation layer over NCDHW tensors with zero
 // padding. Weight layout is [Cout, Cin, KD, KH, KW]. It is the volumetric
 // kernel behind the paper's megavoxel 3D DiffNet.
+//
+// Above the ConvAuto size threshold, Forward and Backward lower to
+// im2col+GEMM (Conv3DGEMM / Conv3DGEMMBackward); the direct 7-deep loops
+// remain both the small-volume path and the correctness oracle. Set Algo
+// to pin either kernel.
+//
+// The GEMM path streams through per-layer scratch buffers, so a Conv3D —
+// and hence any network containing one — must not run concurrent Forward
+// calls on a shared instance, not even with train=false. Clone the
+// network per goroutine instead, as dist.SpatialInference and
+// dist.ParallelTrainer do.
 type Conv3D struct {
 	InChannels  int
 	OutChannels int
 	Kernel      int
 	Stride      int
 	Pad         int
+	// Algo selects the execution strategy; the zero value is ConvAuto.
+	Algo ConvAlgo
 
 	W *Param
 	B *Param
 
 	in *tensor.Tensor
+	// GEMM-lowering scratch, reused across passes (see im2colSlab).
+	colsBuf, prodBuf, gradColsBuf *tensor.Tensor
+}
+
+// scratch returns a [rows, cols] tensor backed by *buf, growing the
+// backing allocation only when the request exceeds it (the short final
+// depth slab of a pass reuses the full-slab buffer). Reuse across passes
+// is what keeps the GEMM lowering's column slabs cache-resident instead of
+// re-faulting fresh pages every forward/backward. Pass zero=false only
+// when the caller overwrites every element before reading (skipping a
+// multi-MiB memset per slab); accumulation targets of the *Into GEMM
+// kernels and the padding-skipping im2col fill need zero=true.
+func (c *Conv3D) scratch(buf **tensor.Tensor, rows, cols int, zero bool) *tensor.Tensor {
+	need := rows * cols
+	t := *buf
+	if t == nil || t.Len() < need {
+		t = tensor.New(rows, cols)
+		*buf = t
+		return t // fresh allocations are already zero
+	}
+	s := tensor.FromSlice(t.Data[:need], rows, cols)
+	if zero {
+		s.Zero()
+	}
+	return s
 }
 
 // NewConv3D builds a cubic-kernel 3D convolution with He initialization.
@@ -40,6 +102,18 @@ func NewConv3D(rng interface{ NormFloat64() float64 }, name string, inCh, outCh,
 // OutSize returns the spatial output size for an input extent n.
 func (c *Conv3D) OutSize(n int) int { return (n+2*c.Pad-c.Kernel)/c.Stride + 1 }
 
+// useGEMM decides whether Forward/Backward lower to im2col+GEMM for a
+// pass with do×ho×wo output voxels per sample.
+func (c *Conv3D) useGEMM(do, ho, wo int) bool {
+	switch c.Algo {
+	case ConvDirect:
+		return false
+	case ConvGEMM:
+		return true
+	}
+	return do*ho*wo >= conv3dGEMMMinVolume
+}
+
 // Forward implements Layer.
 func (c *Conv3D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkRank(x, 5, "Conv3D")
@@ -53,6 +127,9 @@ func (c *Conv3D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	if train {
 		c.in = x
+	}
+	if c.useGEMM(do, ho, wo) {
+		return Conv3DGEMM(c, x)
 	}
 	out := tensor.New(n, c.OutChannels, do, ho, wo)
 	k, s, p := c.Kernel, c.Stride, c.Pad
@@ -108,6 +185,9 @@ func (c *Conv3D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	x := c.in
 	n, ci, d, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3), x.Dim(4)
 	do, ho, wo := grad.Dim(2), grad.Dim(3), grad.Dim(4)
+	if c.useGEMM(do, ho, wo) {
+		return Conv3DGEMMBackward(c, x, grad)
+	}
 	k, s, p := c.Kernel, c.Stride, c.Pad
 	co := c.OutChannels
 	gd, xd, wd := grad.Data, x.Data, c.W.Data.Data

@@ -114,26 +114,14 @@ func Conv2DGEMMBackward(c *Conv2D, x, gradOut *tensor.Tensor) *tensor.Tensor {
 	}
 
 	cols := Im2Col2D(x, k, s, p)
-	// gradW = gMat · colsᵀ.
-	gw := tensor.MatMul(gMat, transpose2D(cols))
+	// gradW = gMat · colsᵀ and gradX = col2im(Wᵀ · gMat), through the
+	// transpose-free kernels the 3D lowering uses.
+	gw := tensor.MatMulTransB(gMat, cols)
 	c.W.Grad.Add(gw.Reshape(co, ci, k, k))
 
-	// gradX = col2im(Wᵀ · gMat).
 	wMat := c.W.Data.Reshape(co, ci*k*k)
-	gCols := tensor.MatMul(transpose2D(wMat), gMat)
+	gCols := tensor.MatMulTransA(wMat, gMat)
 	return Col2Im2D(gCols, n, ci, h, w, k, s, p)
-}
-
-// transpose2D returns the transpose of a rank-2 tensor.
-func transpose2D(a *tensor.Tensor) *tensor.Tensor {
-	m, n := a.Dim(0), a.Dim(1)
-	out := tensor.New(n, m)
-	tensor.ParallelFor(m, func(i int) {
-		for j := 0; j < n; j++ {
-			out.Data[j*m+i] = a.Data[i*n+j]
-		}
-	})
-	return out
 }
 
 // Conv2DGEMM computes the same cross-correlation as Conv2D.Forward by

@@ -1,0 +1,283 @@
+package nn
+
+import "mgdiffnet/internal/tensor"
+
+// Im2Col3D unrolls the sliding windows of an NCDHW input into a
+// [Cin·K³, N·Do·Ho·Wo] matrix so that volumetric convolution becomes one
+// GEMM — the lowering behind the megavoxel Conv3D fast path. Out-of-bounds
+// (padding) positions contribute zeros. For the stride-1 case the
+// innermost transfer is a single contiguous copy per output row.
+//
+// Conv3DGEMM does not materialize this matrix whole: it streams depth
+// slabs of it through a cache-resident scratch buffer (see im2colSlab).
+// The full-matrix form exists for its algebraic contract — tests pair it
+// with Col2Im3D as an adjoint — and for callers that want the classical
+// one-shot lowering.
+func Im2Col3D(x *tensor.Tensor, k, stride, pad int) *tensor.Tensor {
+	d := x.Dim(2)
+	do := (d+2*pad-k)/stride + 1
+	ho := (x.Dim(3)+2*pad-k)/stride + 1
+	wo := (x.Dim(4)+2*pad-k)/stride + 1
+	cols := tensor.New(x.Dim(1)*k*k*k, x.Dim(0)*do*ho*wo)
+	im2colSlab(cols, x, k, stride, pad, 0, do)
+	return cols
+}
+
+// im2colSlab fills a pre-zeroed [Cin·K³, N·(ozHi−ozLo)·Ho·Wo] matrix with
+// the unrolled windows whose output depth lies in [ozLo, ozHi). Slabbing
+// is what keeps the lowering cache-resident on megavoxel volumes: the full
+// column matrix of a 64³ pass runs to hundreds of megabytes, while a slab
+// reused across iterations stays in the last-level cache.
+func im2colSlab(cols, x *tensor.Tensor, k, stride, pad, ozLo, ozHi int) {
+	n, ci, d, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3), x.Dim(4)
+	ho := (h+2*pad-k)/stride + 1
+	wo := (w+2*pad-k)/stride + 1
+	dz := ozHi - ozLo
+	k3 := k * k * k
+	cd, xd := cols.Data, x.Data
+	colW := n * dz * ho * wo
+
+	// One job per (unrolled row, sample, output z-plane): the job count
+	// scales with the volume, not just the channel count, so the unroll
+	// fans out even at the paper's small Cin. Each job owns a disjoint
+	// stretch of its column row — race-free by construction.
+	tensor.ParallelFor(ci*k3*n*dz, func(job int) {
+		row := job / (n * dz)
+		rem := job % (n * dz)
+		bn := rem / dz
+		ozl := rem % dz
+		cin := row / k3
+		krem := row % k3
+		kz := krem / (k * k)
+		ky := (krem / k) % k
+		kx := krem % k
+
+		iz := (ozLo+ozl)*stride - pad + kz
+		if iz < 0 || iz >= d {
+			return // zeros already there
+		}
+		base := row * colW
+		xBase := (bn*ci+cin)*d*h*w + iz*h*w
+		// Valid ox range for the stride-1 contiguous fast path.
+		oxLo, oxHi := 0, wo
+		if stride == 1 {
+			oxLo = max(0, pad-kx)
+			oxHi = min(wo, w+pad-kx)
+		}
+		for oy := 0; oy < ho; oy++ {
+			iy := oy*stride - pad + ky
+			if iy < 0 || iy >= h {
+				continue
+			}
+			outRow := base + ((bn*dz+ozl)*ho+oy)*wo
+			xRow := xBase + iy*w
+			if stride == 1 {
+				if oxHi > oxLo {
+					src := xRow + oxLo - pad + kx
+					copy(cd[outRow+oxLo:outRow+oxHi], xd[src:src+oxHi-oxLo])
+				}
+				continue
+			}
+			for ox := 0; ox < wo; ox++ {
+				ix := ox*stride - pad + kx
+				if ix < 0 || ix >= w {
+					continue
+				}
+				cd[outRow+ox] = xd[xRow+ix]
+			}
+		}
+	})
+}
+
+// Col2Im3D is the adjoint of Im2Col3D: it scatters a [Cin·K³, N·Do·Ho·Wo]
+// column matrix back onto the NCDHW voxel grid, summing overlapping
+// contributions. It turns the GEMM gradient Wᵀ·gradOut into the input
+// gradient of the volumetric convolution.
+func Col2Im3D(cols *tensor.Tensor, n, ci, d, h, w, k, stride, pad int) *tensor.Tensor {
+	do := (d+2*pad-k)/stride + 1
+	out := tensor.New(n, ci, d, h, w)
+	col2imSlab(out, cols, k, stride, pad, 0, do)
+	return out
+}
+
+// col2imSlab adds the contributions of a [Cin·K³, N·(ozHi−ozLo)·Ho·Wo]
+// column slab onto the voxel grid. Slabs from consecutive depth ranges
+// overlap on the input grid (the receptive fields straddle slab
+// boundaries); the += makes the slabbed backward pass sum them exactly
+// like a one-shot scatter.
+//
+// The loop is organized in gather form — one job per destination row
+// (sample, channel, iz, iy) — so every worker owns disjoint output rows
+// and the job count scales with the volume rather than the channel count.
+// Per destination element the (kz, ky, kx, ox) accumulation order is
+// fixed, so results are independent of the worker count.
+func col2imSlab(out, cols *tensor.Tensor, k, stride, pad, ozLo, ozHi int) {
+	n, ci, d, h, w := out.Dim(0), out.Dim(1), out.Dim(2), out.Dim(3), out.Dim(4)
+	ho := (h+2*pad-k)/stride + 1
+	wo := (w+2*pad-k)/stride + 1
+	dz := ozHi - ozLo
+	cd, od := cols.Data, out.Data
+	colW := n * dz * ho * wo
+	tensor.ParallelFor(n*ci*d*h, func(job int) {
+		iy := job % h
+		rest := job / h
+		iz := rest % d
+		rest /= d
+		cin := rest % ci
+		bn := rest / ci
+		dstRow := ((bn*ci+cin)*d+iz)*h*w + iy*w
+		for kz := 0; kz < k; kz++ {
+			ozNum := iz + pad - kz
+			if ozNum < 0 || ozNum%stride != 0 {
+				continue
+			}
+			oz := ozNum / stride
+			if oz < ozLo || oz >= ozHi {
+				continue
+			}
+			for ky := 0; ky < k; ky++ {
+				oyNum := iy + pad - ky
+				if oyNum < 0 || oyNum%stride != 0 {
+					continue
+				}
+				oy := oyNum / stride
+				if oy >= ho {
+					continue
+				}
+				for kx := 0; kx < k; kx++ {
+					row := ((cin*k+kz)*k+ky)*k + kx
+					srcRow := row*colW + ((bn*dz+oz-ozLo)*ho+oy)*wo
+					if stride == 1 {
+						oxLo := max(0, pad-kx)
+						oxHi := min(wo, w+pad-kx)
+						dst := dstRow - pad + kx
+						for ox := oxLo; ox < oxHi; ox++ {
+							od[dst+ox] += cd[srcRow+ox]
+						}
+						continue
+					}
+					for ox := 0; ox < wo; ox++ {
+						ix := ox*stride - pad + kx
+						if ix < 0 || ix >= w {
+							continue
+						}
+						od[dstRow+ix] += cd[srcRow+ox]
+					}
+				}
+			}
+		}
+	})
+}
+
+// conv3dSlabElems bounds the per-slab column matrix at 2²¹ float64s
+// (16 MiB): small enough to sit in a last-level cache slice while the GEMM
+// streams it repeatedly, large enough that slab setup is amortized. Memory
+// use of the GEMM path is O(this bound), not O(volume) — which is why
+// kernel selection never needs to consider batch size or available memory.
+const conv3dSlabElems = 1 << 21
+
+// conv3dSlabDepth returns how many output z-planes fit one column slab.
+func conv3dSlabDepth(ciK3, n, do, ho, wo int) int {
+	dz := conv3dSlabElems / (ciK3 * n * ho * wo)
+	return max(1, min(do, dz))
+}
+
+// Conv3DGEMM computes the same cross-correlation as the direct Conv3D
+// loops by lowering depth slabs to im2col + tensor.MatMul. It shares the
+// layer's weights and biases; results are identical up to floating-point
+// summation order. Conv3D.Forward dispatches here automatically above the
+// ConvAuto size threshold, and the function stays exported as the other
+// side of the direct-vs-GEMM ablation.
+func Conv3DGEMM(c *Conv3D, x *tensor.Tensor) *tensor.Tensor {
+	n, d, h, w := x.Dim(0), x.Dim(2), x.Dim(3), x.Dim(4)
+	k, s, p := c.Kernel, c.Stride, c.Pad
+	do, ho, wo := c.OutSize(d), c.OutSize(h), c.OutSize(w)
+	ciK3 := c.InChannels * k * k * k
+	co := c.OutChannels
+	dz := conv3dSlabDepth(ciK3, n, do, ho, wo)
+
+	wMat := c.W.Data.Reshape(co, ciK3)
+	out := tensor.New(n, co, do, ho, wo)
+	od, bd := out.Data, c.B.Data.Data
+
+	for z0 := 0; z0 < do; z0 += dz {
+		z1 := min(z0+dz, do)
+		slabVol := (z1 - z0) * ho * wo
+		cols := c.scratch(&c.colsBuf, ciK3, n*slabVol, true)
+		im2colSlab(cols, x, k, s, p, z0, z1)
+		prod := c.scratch(&c.prodBuf, co, n*slabVol, true)
+		tensor.MatMulInto(wMat, cols, prod) // [Cout, N·dz·Ho·Wo]
+
+		// Scatter the slab product into NCDHW order and add the bias.
+		pd := prod.Data
+		tensor.ParallelFor(co, func(oc int) {
+			for bn := 0; bn < n; bn++ {
+				src := (oc*n + bn) * slabVol
+				dst := ((bn*co+oc)*do + z0) * ho * wo
+				row := od[dst : dst+slabVol]
+				prow := pd[src : src+slabVol]
+				for i := range row {
+					row[i] = prow[i] + bd[oc]
+				}
+			}
+		})
+	}
+	return out
+}
+
+// Conv3DGEMMBackward computes the volumetric convolution gradients by GEMM
+// lowering: gradW = gradOut·colsᵀ, gradB = row sums, and
+// gradX = col2im(Wᵀ·gradOut), streamed over the same depth slabs as the
+// forward pass. The transposed products run through tensor.MatMulTransB /
+// tensor.MatMulTransA, so no explicit transpose is ever materialized. It
+// accumulates into the layer's parameter gradients exactly like the direct
+// Conv3D.Backward and returns the input gradient.
+func Conv3DGEMMBackward(c *Conv3D, x, gradOut *tensor.Tensor) *tensor.Tensor {
+	n, d, h, w := x.Dim(0), x.Dim(2), x.Dim(3), x.Dim(4)
+	k, s, p := c.Kernel, c.Stride, c.Pad
+	do, ho, wo := gradOut.Dim(2), gradOut.Dim(3), gradOut.Dim(4)
+	ci, co := c.InChannels, c.OutChannels
+	ciK3 := ci * k * k * k
+	dz := conv3dSlabDepth(ciK3, n, do, ho, wo)
+
+	wMat := c.W.Data.Reshape(co, ciK3)
+	gw := tensor.New(co, ciK3)
+	gb := c.B.Grad.Data
+	gin := tensor.New(n, ci, d, h, w)
+	gd := gradOut.Data
+
+	for z0 := 0; z0 < do; z0 += dz {
+		z1 := min(z0+dz, do)
+		slabVol := (z1 - z0) * ho * wo
+
+		// Reorder the gradOut slab from [N, Cout, dz·Ho·Wo] into
+		// [Cout, N·dz·Ho·Wo] and fold the bias row sums in one pass.
+		gMat := c.scratch(&c.prodBuf, co, n*slabVol, false) // fully overwritten below
+		gm := gMat.Data
+		tensor.ParallelFor(co, func(oc int) {
+			sum := 0.0
+			for bn := 0; bn < n; bn++ {
+				src := ((bn*co+oc)*do + z0) * ho * wo
+				dst := (oc*n + bn) * slabVol
+				copy(gm[dst:dst+slabVol], gd[src:src+slabVol])
+				for _, g := range gd[src : src+slabVol] {
+					sum += g
+				}
+			}
+			gb[oc] += sum
+		})
+
+		cols := c.scratch(&c.colsBuf, ciK3, n*slabVol, true)
+		im2colSlab(cols, x, k, s, p, z0, z1)
+		// gradW accumulates across slabs: gw += gMat · colsᵀ.
+		tensor.MatMulTransBInto(gMat, cols, gw)
+
+		// gradX slab: col2im(Wᵀ · gMat), scatter-added into gin.
+		gCols := c.scratch(&c.gradColsBuf, ciK3, n*slabVol, true)
+		tensor.MatMulTransAInto(wMat, gMat, gCols)
+		col2imSlab(gin, gCols, k, s, p, z0, z1)
+	}
+
+	c.W.Grad.Add(gw.Reshape(co, ci, k, k, k))
+	return gin
+}

@@ -401,6 +401,26 @@ func TestSGDMomentumAccumulates(t *testing.T) {
 	}
 }
 
+// Regression: Step branches on the current Momentum field, so turning
+// momentum on after construction used to hit a nil velocity slice; the
+// buffers are now allocated lazily and the trajectory must match an
+// optimizer built with momentum from the start.
+func TestSGDMomentumSetAfterConstruction(t *testing.T) {
+	pLate, pEager := NewParam("wl", 1), NewParam("we", 1)
+	pLate.Grad.Data[0], pEager.Grad.Data[0] = 1, 1
+	late := NewSGD([]*Param{pLate}, 1, 0)
+	eager := NewSGD([]*Param{pEager}, 1, 0.9)
+	late.Momentum = 0.9
+	for i := 0; i < 3; i++ {
+		late.Step()
+		eager.Step()
+	}
+	if pLate.Data.Data[0] != pEager.Data.Data[0] {
+		t.Fatalf("late-momentum trajectory %v differs from eager %v",
+			pLate.Data.Data[0], pEager.Data.Data[0])
+	}
+}
+
 func TestAdamConvergesOnQuadratic(t *testing.T) {
 	// Minimize (w-3)^2 with Adam; it must get close to 3.
 	p := NewParam("w", 1)

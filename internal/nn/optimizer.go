@@ -21,17 +21,12 @@ type SGD struct {
 
 // NewSGD builds an SGD optimizer over the given parameters.
 func NewSGD(params []*Param, lr, momentum float64) *SGD {
-	s := &SGD{LR: lr, Momentum: momentum, params: params}
-	if momentum != 0 {
-		s.velocity = make([][]float64, len(params))
-		for i, p := range params {
-			s.velocity[i] = make([]float64, p.Data.Len())
-		}
-	}
-	return s
+	return &SGD{LR: lr, Momentum: momentum, params: params}
 }
 
-// Step implements Optimizer.
+// Step implements Optimizer. The velocity buffers are allocated lazily on
+// the first momentum step, so Momentum may be set (or changed) at any time
+// after construction — Step branches on the current field value.
 func (s *SGD) Step() {
 	for i, p := range s.params {
 		if s.Momentum == 0 {
@@ -39,6 +34,12 @@ func (s *SGD) Step() {
 				p.Data.Data[j] -= s.LR * p.Grad.Data[j]
 			}
 			continue
+		}
+		if s.velocity == nil {
+			s.velocity = make([][]float64, len(s.params))
+		}
+		if s.velocity[i] == nil {
+			s.velocity[i] = make([]float64, p.Data.Len())
 		}
 		v := s.velocity[i]
 		for j := range p.Data.Data {

@@ -79,6 +79,39 @@ func ParallelRange(n int, body func(lo, hi int)) {
 	wg.Wait()
 }
 
+// parallelHeavy runs body(i) for i in [0, n) across workers without the
+// small-n serial cutoff of ParallelFor. It exists for callers whose
+// iterations are individually heavy — e.g. one GEMM contraction chunk
+// each — where even a handful of iterations are worth fanning out.
+func parallelHeavy(n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := min(int(maxProcs.Load()), n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
 // ParallelReduce computes a sum over [0, n) where body(lo, hi) returns the
 // partial sum for its chunk. Partial sums are combined deterministically in
 // chunk order so results do not depend on goroutine scheduling.

@@ -59,8 +59,17 @@ func Load(r io.Reader) (*UNet, error) {
 		copy(p.Data.Data, s.Params[i])
 	}
 	bns := collectBN(u)
-	if len(bns) != len(s.BNMeans) {
-		return nil, fmt.Errorf("unet: snapshot has %d batch-norm layers, architecture expects %d", len(s.BNMeans), len(bns))
+	if len(bns) != len(s.BNMeans) || len(bns) != len(s.BNVars) {
+		return nil, fmt.Errorf("unet: snapshot has %d mean / %d variance batch-norm vectors, architecture expects %d",
+			len(s.BNMeans), len(s.BNVars), len(bns))
+	}
+	// Validate every length before copying anything: a mismatched or
+	// corrupt snapshot must be rejected whole, not half-loaded.
+	for i, bn := range bns {
+		if len(s.BNMeans[i]) != bn.C || len(s.BNVars[i]) != bn.C {
+			return nil, fmt.Errorf("unet: batch-norm layer %d has %d-channel means and %d-channel variances, want %d",
+				i, len(s.BNMeans[i]), len(s.BNVars[i]), bn.C)
+		}
 	}
 	for i, bn := range bns {
 		copy(bn.RunningMean, s.BNMeans[i])

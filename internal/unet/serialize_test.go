@@ -1,0 +1,123 @@
+package unet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// trainedNet builds a small 3D network, adapts it twice, and runs a
+// training pass so weights, adaptation structure, and batch-norm running
+// statistics are all off their defaults.
+func trainedNet(t *testing.T) *UNet {
+	t.Helper()
+	cfg := DefaultConfig(3)
+	cfg.BaseFilters = 2
+	cfg.Depth = 1
+	u := New(cfg)
+	u.Adapt()
+	u.Adapt()
+	rng := rand.New(rand.NewSource(90))
+	for _, p := range u.Params() {
+		for i := range p.Data.Data {
+			p.Data.Data[i] += 0.05 * rng.NormFloat64()
+		}
+	}
+	u.Forward(randInput(rng, 1, 1, 8, 8, 8), true)
+	return u
+}
+
+// corruptedSnapshot saves u, decodes the raw snapshot, lets mutate corrupt
+// it, and re-encodes it for Load.
+func corruptedSnapshot(t *testing.T, u *UNet, mutate func(*snapshot)) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := u.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s snapshot
+	if err := gob.NewDecoder(&buf).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&s)
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(&s); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+func TestSaveLoadRoundTripAdapted3D(t *testing.T) {
+	u := trainedNet(t)
+	var buf bytes.Buffer
+	if err := u.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(91))
+	x := randInput(rng, 1, 1, 8, 8, 8)
+	if d := u.Forward(x, false).RMSE(v.Forward(x, false)); d != 0 {
+		t.Fatalf("loaded adapted network differs: RMSE %v", d)
+	}
+	// Running statistics must round-trip too, not just weights.
+	ub, vb := collectBN(u), collectBN(v)
+	for i := range ub {
+		for j := range ub[i].RunningMean {
+			if ub[i].RunningMean[j] != vb[i].RunningMean[j] || ub[i].RunningVar[j] != vb[i].RunningVar[j] {
+				t.Fatalf("batch-norm stats %d differ after round trip", i)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsCorruptSnapshots(t *testing.T) {
+	u := trainedNet(t)
+	cases := map[string]struct {
+		mutate  func(*snapshot)
+		errWant string
+	}{
+		"missing param tensor": {
+			func(s *snapshot) { s.Params = s.Params[:len(s.Params)-1] },
+			"parameter tensors",
+		},
+		"wrong param length": {
+			func(s *snapshot) { s.Params[0] = s.Params[0][:len(s.Params[0])-1] },
+			"length",
+		},
+		"missing bn means": {
+			func(s *snapshot) { s.BNMeans = s.BNMeans[:len(s.BNMeans)-1] },
+			"batch-norm",
+		},
+		"missing bn vars": {
+			func(s *snapshot) { s.BNVars = s.BNVars[:len(s.BNVars)-1] },
+			"batch-norm",
+		},
+		"short bn means": {
+			func(s *snapshot) { s.BNMeans[0] = s.BNMeans[0][:len(s.BNMeans[0])-1] },
+			"channel",
+		},
+		"long bn vars": {
+			func(s *snapshot) { s.BNVars[0] = append(s.BNVars[0], 1) },
+			"channel",
+		},
+	}
+	for name, tc := range cases {
+		buf := corruptedSnapshot(t, u, tc.mutate)
+		v, err := Load(buf)
+		if err == nil {
+			t.Errorf("%s: corrupt snapshot loaded without error", name)
+			continue
+		}
+		if v != nil {
+			t.Errorf("%s: Load returned a network alongside the error", name)
+		}
+		if !strings.Contains(err.Error(), tc.errWant) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.errWant)
+		}
+	}
+}

@@ -37,6 +37,12 @@ type Config struct {
 	// FinalSigmoid applies the paper's Sigmoid output activation; when
 	// false the output is linear (used in ablations).
 	FinalSigmoid bool
+	// DirectConv pins every 3D convolution to the direct-loop kernel (the
+	// correctness oracle). When false — the default — layers select the
+	// im2col+GEMM lowering automatically above the nn.ConvAuto volume
+	// threshold, which is what makes megavoxel forward passes fast. Old
+	// gob snapshots decode this as false and so pick up the fast path.
+	DirectConv bool
 	// Seed drives deterministic weight initialization.
 	Seed int64
 }
@@ -136,7 +142,11 @@ func (u *UNet) newConv(name string, in, out, k, s, p int) nn.Layer {
 	if u.Cfg.Dim == 2 {
 		return nn.NewConv2D(u.rng, name, in, out, k, s, p)
 	}
-	return nn.NewConv3D(u.rng, name, in, out, k, s, p)
+	c := nn.NewConv3D(u.rng, name, in, out, k, s, p)
+	if u.Cfg.DirectConv {
+		c.Algo = nn.ConvDirect
+	}
+	return c
 }
 
 func (u *UNet) newConvT(name string, in, out, k, s, p int) nn.Layer {
@@ -217,6 +227,11 @@ func (u *UNet) checkInput(x *tensor.Tensor) {
 
 // Forward implements nn.Layer. With train=true all activations needed by
 // Backward are cached inside the constituent layers.
+//
+// Forward is not safe for concurrent calls on a shared network even with
+// train=false: the 3D convolution layers reuse per-layer GEMM scratch
+// buffers (see nn.Conv3D). Use Clone to give each goroutine its own
+// replica, as internal/dist does.
 func (u *UNet) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	u.checkInput(x)
 	skips := make([]*tensor.Tensor, u.Cfg.Depth)

@@ -243,6 +243,49 @@ func TestCloneProducesIdenticalOutputs(t *testing.T) {
 	}
 }
 
+// Above the nn.ConvAuto volume threshold the 3D network switches to the
+// im2col+GEMM lowering; DirectConv pins the direct-loop oracle. The two
+// must agree to floating-point roundoff through a full forward and
+// backward pass — the whole-network version of the kernel-level
+// equivalence tests in internal/nn.
+func TestUNet3DGEMMLoweringMatchesDirectConv(t *testing.T) {
+	mk := func(direct bool) *UNet {
+		cfg := DefaultConfig(3)
+		cfg.BaseFilters = 2
+		cfg.Depth = 1
+		cfg.Seed = 77
+		cfg.DirectConv = direct
+		return New(cfg)
+	}
+	uDirect, uGEMM := mk(true), mk(false)
+	rng := rand.New(rand.NewSource(78))
+	// 32³ crosses the GEMM threshold for the full-resolution layers.
+	x := randInput(rng, 1, 1, 32, 32, 32)
+
+	yd := uDirect.Forward(x, true)
+	yg := uGEMM.Forward(x, true)
+	if d := yd.RMSE(yg); d > 1e-12 {
+		t.Fatalf("forward passes differ: RMSE %v", d)
+	}
+
+	g := tensor.New(yd.Shape()...)
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	nn.ZeroGrads(uDirect, uGEMM)
+	gd := uDirect.Backward(g)
+	gg := uGEMM.Backward(g.Clone())
+	if d := gd.RMSE(gg); d > 1e-11 {
+		t.Fatalf("input gradients differ: RMSE %v", d)
+	}
+	pd, pg := uDirect.Params(), uGEMM.Params()
+	for i := range pd {
+		if d := pd[i].Grad.RMSE(pg[i].Grad); d > 1e-11*(1+pd[i].Grad.AbsMax()) {
+			t.Fatalf("param %s gradient differs: RMSE %v", pd[i].Name, d)
+		}
+	}
+}
+
 func TestTrainingStepDecreasesSimpleLoss(t *testing.T) {
 	cfg := DefaultConfig(2)
 	cfg.BaseFilters = 4
