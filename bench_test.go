@@ -186,16 +186,57 @@ func BenchmarkFigure9ParallelEpoch(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer pt.Close()
-			if _, err := pt.TrainEpoch(); err != nil {
+			if _, err := pt.TrainEpoch(8); err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := pt.TrainEpoch(); err != nil {
+				if _, err := pt.TrainEpoch(8); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkDistHalfVStage times one distributed Half-V stage: the
+// coarsest-entry prolongation stage of the multigrid schedule, run
+// data-parallel through core.RunSchedule with a 2-worker ParallelTrainer
+// backend (PR 3's BENCH_pr3.json case).
+func BenchmarkDistHalfVStage(b *testing.B) {
+	net := unet.DefaultConfig(2)
+	net.BaseFilters = 4
+	net.BatchNorm = false
+	cfg := core.DefaultConfig(2)
+	cfg.Strategy = core.HalfV
+	cfg.Levels = 1
+	cfg.FinestRes = 16
+	cfg.Samples = 8
+	cfg.BatchSize = 4
+	cfg.MaxEpochsPerStage = 2
+	cfg.Patience = 1
+	cfg.Seed = 9
+	cfg.Net = &net
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		pt, err := dist.NewParallelTrainer(dist.ParallelConfig{
+			Workers: 2, Dim: 2, Res: cfg.FinestRes, Samples: cfg.Samples,
+			GlobalBatch: cfg.BatchSize, LR: cfg.LR, Seed: cfg.Seed, Net: &net,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		rep, err := core.RunSchedule(cfg, pt, core.RunOptions{})
+		b.StopTimer()
+		pt.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.FinalLoss <= 0 {
+			b.Fatal("bad loss")
+		}
+		b.StartTimer()
 	}
 }
 

@@ -1,18 +1,25 @@
 // Command mgtrain trains an MGDiffNet model with one of the paper's
-// multigrid schedules and optionally saves the weights for cmd/mginfer.
+// multigrid schedules — single-process or data-parallel — and optionally
+// saves the weights for cmd/mginfer. Long runs can write durable
+// checkpoints and resume after a kill with bit-identical results.
 //
-// Example:
+// Examples:
 //
 //	mgtrain -dim 2 -strategy half-v -res 64 -levels 3 -samples 32 -o model.bin
+//	mgtrain -workers 4 -checkpoint run.ck -checkpoint-every 5 ...
+//	mgtrain -workers 4 -checkpoint run.ck -resume ...   # after a kill
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"mgdiffnet/internal/core"
+	"mgdiffnet/internal/dist"
 	"mgdiffnet/internal/unet"
 )
 
@@ -32,71 +39,214 @@ func parseStrategy(s string) (core.Strategy, error) {
 	return core.Base, fmt.Errorf("unknown strategy %q (want base, v, w, f or half-v)", s)
 }
 
-func main() {
-	var (
-		dim        = flag.Int("dim", 2, "spatial dimensionality (2 or 3)")
-		strategy   = flag.String("strategy", "half-v", "training schedule: base, v, w, f, half-v")
-		res        = flag.Int("res", 64, "finest nodal resolution")
-		levels     = flag.Int("levels", 3, "number of multigrid levels")
-		samples    = flag.Int("samples", 32, "number of Sobol diffusivity maps")
-		batch      = flag.Int("batch", 8, "global mini-batch size")
-		lr         = flag.Float64("lr", 1e-3, "Adam learning rate")
-		restEpochs = flag.Int("restriction-epochs", 2, "epochs per restriction stage")
-		maxEpochs  = flag.Int("max-epochs", 30, "epoch cap per prolongation stage")
-		patience   = flag.Int("patience", 4, "early-stopping patience")
-		adapt      = flag.Bool("adapt", false, "enable architectural adaptation (Table 2)")
-		cycles     = flag.Int("cycles", 1, "number of multigrid cycles (paper uses 1)")
-		filters    = flag.Int("filters", 16, "U-Net base filter count")
-		seed       = flag.Int64("seed", 42, "initialization seed")
-		out        = flag.String("o", "", "output path for the trained model (gob)")
-	)
-	flag.Parse()
+// trainFlags collects every flag value so validation can run before any
+// trainer is constructed.
+type trainFlags struct {
+	dim, res, levels, samples, batch  int
+	restEpochs, maxEpochs, patience   int
+	cycles, filters, workers, ckEvery int
+	lr                                float64
+	adapt, resume                     bool
+	seed                              int64
+	out, checkpoint                   string
+}
 
-	strat, err := parseStrategy(*strategy)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mgtrain:", err)
-		os.Exit(2)
+// validate rejects inconsistent flag combinations with one-line errors so
+// main can exit 2 instead of surfacing a panic stack trace from deep in
+// the trainer.
+func (f *trainFlags) validate() error {
+	if f.dim != 2 && f.dim != 3 {
+		return fmt.Errorf("-dim must be 2 or 3, got %d", f.dim)
+	}
+	if f.levels < 1 {
+		return fmt.Errorf("-levels must be >= 1, got %d", f.levels)
+	}
+	if f.res < 1 {
+		return fmt.Errorf("-res must be >= 1, got %d", f.res)
+	}
+	if f.res%(1<<(f.levels-1)) != 0 {
+		return fmt.Errorf("-res %d must be divisible by 2^(levels-1) = %d", f.res, 1<<(f.levels-1))
+	}
+	if f.samples < 1 {
+		return fmt.Errorf("-samples must be >= 1, got %d", f.samples)
+	}
+	if f.batch < 1 {
+		return fmt.Errorf("-batch must be >= 1, got %d", f.batch)
+	}
+	if f.lr <= 0 {
+		return fmt.Errorf("-lr must be > 0, got %g", f.lr)
+	}
+	if f.restEpochs < 1 {
+		return fmt.Errorf("-restriction-epochs must be >= 1, got %d", f.restEpochs)
+	}
+	if f.maxEpochs < 1 {
+		return fmt.Errorf("-max-epochs must be >= 1, got %d", f.maxEpochs)
+	}
+	if f.patience < 1 {
+		return fmt.Errorf("-patience must be >= 1, got %d", f.patience)
+	}
+	if f.cycles < 1 {
+		return fmt.Errorf("-cycles must be >= 1, got %d", f.cycles)
+	}
+	if f.filters < 1 {
+		return fmt.Errorf("-filters must be >= 1, got %d", f.filters)
+	}
+	if f.workers < 1 {
+		return fmt.Errorf("-workers must be >= 1, got %d", f.workers)
+	}
+	if f.ckEvery < 1 {
+		return fmt.Errorf("-checkpoint-every must be >= 1, got %d", f.ckEvery)
+	}
+	if f.resume && f.checkpoint == "" {
+		return errors.New("-resume requires -checkpoint")
+	}
+	// The default U-Net halves the extent Depth times, so the coarsest
+	// level must still be a positive multiple of its minimum input size.
+	min := 1 << unet.DefaultConfig(f.dim).Depth
+	coarsest := f.res >> (f.levels - 1)
+	if coarsest < min || coarsest%min != 0 {
+		return fmt.Errorf("coarsest resolution %d (res %d over %d levels) must be a positive multiple of the U-Net minimum input size %d",
+			coarsest, f.res, f.levels, min)
+	}
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	// Residual invalid-configuration panics become one-line errors too.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(stderr, "mgtrain: %v\n", r)
+			code = 2
+		}
+	}()
+
+	fs := flag.NewFlagSet("mgtrain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var f trainFlags
+	var strategy string
+	fs.IntVar(&f.dim, "dim", 2, "spatial dimensionality (2 or 3)")
+	fs.StringVar(&strategy, "strategy", "half-v", "training schedule: base, v, w, f, half-v")
+	fs.IntVar(&f.res, "res", 64, "finest nodal resolution")
+	fs.IntVar(&f.levels, "levels", 3, "number of multigrid levels")
+	fs.IntVar(&f.samples, "samples", 32, "number of Sobol diffusivity maps")
+	fs.IntVar(&f.batch, "batch", 8, "global mini-batch size")
+	fs.Float64Var(&f.lr, "lr", 1e-3, "Adam learning rate")
+	fs.IntVar(&f.restEpochs, "restriction-epochs", 2, "epochs per restriction stage")
+	fs.IntVar(&f.maxEpochs, "max-epochs", 30, "epoch cap per prolongation stage")
+	fs.IntVar(&f.patience, "patience", 4, "early-stopping patience")
+	fs.BoolVar(&f.adapt, "adapt", false, "enable architectural adaptation (Table 2)")
+	fs.IntVar(&f.cycles, "cycles", 1, "number of multigrid cycles (paper uses 1)")
+	fs.IntVar(&f.filters, "filters", 16, "U-Net base filter count")
+	fs.Int64Var(&f.seed, "seed", 42, "initialization seed")
+	fs.IntVar(&f.workers, "workers", 1, "data-parallel worker count (1 = single-process)")
+	fs.StringVar(&f.checkpoint, "checkpoint", "", "checkpoint file path (enables durable snapshots)")
+	fs.IntVar(&f.ckEvery, "checkpoint-every", 1, "epochs between checkpoint snapshots")
+	fs.BoolVar(&f.resume, "resume", false, "resume from -checkpoint if it exists")
+	fs.StringVar(&f.out, "o", "", "output path for the trained model (gob)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
 
-	ncfg := unet.DefaultConfig(*dim)
-	ncfg.BaseFilters = *filters
+	strat, err := parseStrategy(strategy)
+	if err != nil {
+		fmt.Fprintln(stderr, "mgtrain:", err)
+		return 2
+	}
+	if err := f.validate(); err != nil {
+		fmt.Fprintln(stderr, "mgtrain:", err)
+		return 2
+	}
+
+	ncfg := unet.DefaultConfig(f.dim)
+	ncfg.BaseFilters = f.filters
 
 	cfg := core.Config{
-		Dim:               *dim,
+		Dim:               f.dim,
 		Strategy:          strat,
-		Levels:            *levels,
-		FinestRes:         *res,
-		Samples:           *samples,
-		BatchSize:         *batch,
-		LR:                *lr,
-		RestrictionEpochs: *restEpochs,
-		MaxEpochsPerStage: *maxEpochs,
-		Patience:          *patience,
+		Levels:            f.levels,
+		FinestRes:         f.res,
+		Samples:           f.samples,
+		BatchSize:         f.batch,
+		LR:                f.lr,
+		RestrictionEpochs: f.restEpochs,
+		MaxEpochsPerStage: f.maxEpochs,
+		Patience:          f.patience,
 		MinDelta:          1e-6,
-		Adapt:             *adapt,
-		Cycles:            *cycles,
-		Seed:              *seed,
+		Adapt:             f.adapt,
+		Cycles:            f.cycles,
+		Seed:              f.seed,
 		Net:               &ncfg,
 		Logf: func(format string, args ...any) {
-			fmt.Printf(format+"\n", args...)
+			fmt.Fprintf(stdout, format+"\n", args...)
 		},
 	}
 
-	tr := core.NewTrainer(cfg)
-	fmt.Printf("mgtrain: %s, %dD, finest res %d, %d levels, %d params\n",
-		strat, *dim, *res, *levels, tr.Net.ParamCount())
-	rep := tr.Run()
-	fmt.Printf("done: final loss %.6f in %.2fs over %d stages\n",
-		rep.FinalLoss, rep.TotalSeconds, len(rep.Stages))
-	for lv, sec := range rep.TimePerLevel() {
-		fmt.Printf("  level %d: %.2fs\n", lv, sec)
+	var backend core.EpochBackend
+	var trainedNet func() *unet.UNet
+	if f.workers > 1 {
+		pt, err := dist.NewParallelTrainer(dist.ParallelConfig{
+			Workers:     f.workers,
+			Dim:         f.dim,
+			Res:         f.res,
+			Samples:     f.samples,
+			GlobalBatch: f.batch,
+			LR:          f.lr,
+			Seed:        f.seed,
+			Net:         &ncfg,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "mgtrain:", err)
+			return 2
+		}
+		defer pt.Close()
+		backend = pt
+		trainedNet = pt.Net
+	} else {
+		tr := core.NewTrainer(cfg)
+		backend = tr
+		trainedNet = func() *unet.UNet { return tr.Net }
 	}
 
-	if *out != "" {
-		if err := tr.Net.SaveFile(*out); err != nil {
-			fmt.Fprintln(os.Stderr, "mgtrain: save:", err)
-			os.Exit(1)
+	opts := core.RunOptions{CheckpointPath: f.checkpoint, CheckpointEvery: f.ckEvery}
+	if f.resume {
+		ck, err := core.LoadCheckpoint(f.checkpoint)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Fprintf(stdout, "mgtrain: no checkpoint at %s yet, starting fresh\n", f.checkpoint)
+		case err != nil:
+			fmt.Fprintln(stderr, "mgtrain:", err)
+			return 2
+		default:
+			opts.Resume = ck
 		}
-		fmt.Printf("model written to %s\n", *out)
 	}
+
+	fmt.Fprintf(stdout, "mgtrain: %s, %dD, finest res %d, %d levels, %d workers\n",
+		strat, f.dim, f.res, f.levels, f.workers)
+	rep, err := core.RunSchedule(cfg, backend, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "mgtrain:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "done: final loss %.6f in %.2fs over %d stages\n",
+		rep.FinalLoss, rep.TotalSeconds, len(rep.Stages))
+	for lv, sec := range rep.TimePerLevel() {
+		fmt.Fprintf(stdout, "  level %d: %.2fs\n", lv, sec)
+	}
+
+	if f.out != "" {
+		if err := trainedNet().SaveFile(f.out); err != nil {
+			fmt.Fprintln(stderr, "mgtrain: save:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "model written to %s\n", f.out)
+	}
+	return 0
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"strings"
 	"testing"
 
 	"mgdiffnet/internal/core"
@@ -20,5 +23,94 @@ func TestParseStrategy(t *testing.T) {
 	}
 	if _, err := parseStrategy("zigzag"); err == nil {
 		t.Fatal("expected error for unknown strategy")
+	}
+}
+
+// Invalid flag combinations must exit 2 with a one-line error on stderr,
+// never a panic stack trace.
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := map[string][]string{
+		"bad dim":               {"-dim", "4"},
+		"bad strategy":          {"-strategy", "zigzag"},
+		"zero levels":           {"-levels", "0"},
+		"indivisible res":       {"-res", "60", "-levels", "3"},
+		"zero samples":          {"-samples", "0"},
+		"zero batch":            {"-batch", "0"},
+		"nonpositive lr":        {"-lr", "0"},
+		"zero max epochs":       {"-max-epochs", "0"},
+		"zero restriction":      {"-restriction-epochs", "0"},
+		"zero patience":         {"-patience", "0"},
+		"zero cycles":           {"-cycles", "0"},
+		"zero filters":          {"-filters", "0"},
+		"zero workers":          {"-workers", "0"},
+		"zero checkpoint-every": {"-checkpoint-every", "0", "-checkpoint", "x.ck"},
+		"resume sans path":      {"-resume"},
+		"coarsest below min":    {"-res", "16", "-levels", "3"}, // coarsest 4 < U-Net minimum 8
+		"unknown flag":          {"-no-such-flag"},
+	}
+	for name, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 2 {
+			t.Errorf("%s: exit code %d, want 2 (stderr: %q)", name, code, errw.String())
+		}
+		if strings.Contains(errw.String(), "goroutine") {
+			t.Errorf("%s: stderr shows a stack trace: %q", name, errw.String())
+		}
+	}
+}
+
+func tinyArgs(extra ...string) []string {
+	args := []string{
+		"-dim", "2", "-strategy", "half-v", "-res", "8", "-levels", "1",
+		"-samples", "2", "-batch", "2", "-filters", "2",
+		"-max-epochs", "1", "-restriction-epochs", "1",
+	}
+	return append(args, extra...)
+}
+
+func TestRunTinyTraining(t *testing.T) {
+	var out, errw bytes.Buffer
+	model := t.TempDir() + "/model.bin"
+	if code := run(tinyArgs("-o", model), &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "done: final loss") {
+		t.Fatalf("missing summary in output: %q", out.String())
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatalf("model not written: %v", err)
+	}
+}
+
+func TestRunCheckpointAndResume(t *testing.T) {
+	ck := t.TempDir() + "/run.ck"
+	var out1, err1 bytes.Buffer
+	// -resume with no checkpoint yet starts fresh.
+	if code := run(tinyArgs("-checkpoint", ck, "-resume"), &out1, &err1); code != 0 {
+		t.Fatalf("first run exit %d, stderr %q", code, err1.String())
+	}
+	if !strings.Contains(out1.String(), "starting fresh") {
+		t.Fatalf("missing fresh-start notice: %q", out1.String())
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	// Resuming a completed run finishes immediately with the saved report.
+	var out2, err2 bytes.Buffer
+	if code := run(tinyArgs("-checkpoint", ck, "-resume"), &out2, &err2); code != 0 {
+		t.Fatalf("resume exit %d, stderr %q", code, err2.String())
+	}
+	if !strings.Contains(out2.String(), "done: final loss") {
+		t.Fatalf("missing summary after resume: %q", out2.String())
+	}
+}
+
+func TestRunDistributedWorkers(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(tinyArgs("-workers", "2"), &out, &errw); code != 0 {
+		t.Fatalf("workers=2 exit %d, stderr %q", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "2 workers") {
+		t.Fatalf("missing worker count in banner: %q", out.String())
 	}
 }

@@ -37,8 +37,8 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		pt.TimeEpoch() // warm-up; TrainEpoch throttles kernels to GOMAXPROCS/p
-		dur, loss, err := pt.TimeEpoch()
+		pt.TimeEpoch(res) // warm-up; TrainEpoch throttles kernels to GOMAXPROCS/p
+		dur, loss, err := pt.TimeEpoch(res)
 		if err != nil {
 			panic(err)
 		}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"mgdiffnet/internal/unet"
+)
+
+// crashingBackend wraps a Trainer and injects a transient failure after a
+// fixed number of training epochs, simulating a killed process: the
+// checkpoints written up to the crash are all the next process gets.
+type crashingBackend struct {
+	*Trainer
+	failAfter int
+	calls     int
+}
+
+var errInjected = errors.New("injected crash")
+
+func (c *crashingBackend) TrainEpoch(res int) (float64, error) {
+	if c.calls >= c.failAfter {
+		return 0, errInjected
+	}
+	c.calls++
+	return c.Trainer.TrainEpoch(res)
+}
+
+// ckTestConfig exercises the hard parts on purpose: a V cycle (restriction
+// and prolongation phases), a ragged dataset (5 samples, batch 2, so the
+// final batch is clamped), architectural adaptation on the coarse-to-fine
+// transition, and batch normalization (running statistics must survive the
+// checkpoint round trip).
+func ckTestConfig() Config {
+	cfg := DefaultConfig(2)
+	cfg.Strategy = V
+	cfg.FinestRes = 16
+	cfg.Levels = 2
+	cfg.Samples = 5
+	cfg.BatchSize = 2
+	cfg.RestrictionEpochs = 2
+	cfg.MaxEpochsPerStage = 3
+	cfg.Patience = 2
+	cfg.Adapt = true
+	cfg.Seed = 17
+	net := unet.DefaultConfig(2)
+	net.BaseFilters = 4
+	cfg.Net = &net
+	return cfg
+}
+
+func paramsEqual(t *testing.T, ref, got *Trainer, label string) {
+	t.Helper()
+	pa, pb := ref.Net.Params(), got.Net.Params()
+	if len(pa) != len(pb) {
+		t.Fatalf("%s: %d vs %d parameter tensors", label, len(pa), len(pb))
+	}
+	for i := range pa {
+		da, db := pa[i].Data.Data, pb[i].Data.Data
+		if len(da) != len(db) {
+			t.Fatalf("%s: param %d length %d vs %d", label, i, len(da), len(db))
+		}
+		for j := range da {
+			if da[j] != db[j] {
+				t.Fatalf("%s: param %d (%s) elem %d: %g vs %g — weights must be bit-identical",
+					label, i, pa[i].Name, j, db[j], da[j])
+			}
+		}
+	}
+}
+
+// A run killed after k epochs and resumed from its last checkpoint must
+// finish with weights bit-identical to an uninterrupted run — for crashes
+// inside restriction stages, at stage boundaries, and inside the adapted
+// prolongation stage.
+func TestResumeBitExactSingleProcess(t *testing.T) {
+	cfg := ckTestConfig()
+	ref := NewTrainer(cfg)
+	repRef, err := RunSchedule(cfg, ref, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalEpochs := 0
+	for _, s := range repRef.Stages {
+		totalEpochs += s.Epochs
+	}
+	if totalEpochs < 4 {
+		t.Fatalf("reference run too short (%d epochs) to place crashes", totalEpochs)
+	}
+
+	for _, failAfter := range []int{2, totalEpochs / 2, totalEpochs - 1} {
+		path := t.TempDir() + "/ck.gob"
+		crashed := &crashingBackend{Trainer: NewTrainer(cfg), failAfter: failAfter}
+		if _, err := RunSchedule(cfg, crashed, RunOptions{CheckpointPath: path, CheckpointEvery: 1}); !errors.Is(err, errInjected) {
+			t.Fatalf("failAfter=%d: expected injected crash, got %v", failAfter, err)
+		}
+		ck, err := LoadCheckpoint(path)
+		if err != nil {
+			t.Fatalf("failAfter=%d: %v", failAfter, err)
+		}
+		resumed := NewTrainer(cfg)
+		repB, err := RunSchedule(cfg, resumed, RunOptions{Resume: ck, CheckpointPath: path, CheckpointEvery: 1})
+		if err != nil {
+			t.Fatalf("failAfter=%d: resume: %v", failAfter, err)
+		}
+		paramsEqual(t, ref, resumed, "resumed run")
+		if repB.FinalLoss != repRef.FinalLoss {
+			t.Fatalf("failAfter=%d: final loss %v vs %v", failAfter, repB.FinalLoss, repRef.FinalLoss)
+		}
+		if len(repB.History) != len(repRef.History) {
+			t.Fatalf("failAfter=%d: history %d vs %d epochs", failAfter, len(repB.History), len(repRef.History))
+		}
+		for i := range repB.History {
+			if repB.History[i].Loss != repRef.History[i].Loss {
+				t.Fatalf("failAfter=%d: epoch %d loss %v vs %v", failAfter, i,
+					repB.History[i].Loss, repRef.History[i].Loss)
+			}
+		}
+		for i := range repB.Stages {
+			if repB.Stages[i].Epochs != repRef.Stages[i].Epochs ||
+				repB.Stages[i].Adapted != repRef.Stages[i].Adapted {
+				t.Fatalf("failAfter=%d: stage %d report %+v vs %+v", failAfter, i,
+					repB.Stages[i], repRef.Stages[i])
+			}
+		}
+	}
+}
+
+// Checkpointing must not perturb the run that writes the checkpoints.
+func TestCheckpointingDoesNotPerturbTraining(t *testing.T) {
+	cfg := ckTestConfig()
+	plain := NewTrainer(cfg)
+	if _, err := RunSchedule(cfg, plain, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ck.gob"
+	saving := NewTrainer(cfg)
+	if _, err := RunSchedule(cfg, saving, RunOptions{CheckpointPath: path, CheckpointEvery: 2}); err != nil {
+		t.Fatal(err)
+	}
+	paramsEqual(t, plain, saving, "checkpointing run")
+
+	// The final checkpoint's cursor marks the run complete, and no stale
+	// temporary file is left behind.
+	sched := MultiCycleSchedule(cfg.Strategy, cfg.Levels, cfg.FinestRes, cfg.Cycles)
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.StageIdx > len(sched) || ck.Epoch < 0 {
+		t.Fatalf("final checkpoint cursor (%d, %d) out of range", ck.StageIdx, ck.Epoch)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temporary checkpoint file left behind: %v", err)
+	}
+}
+
+// Resuming from a checkpoint whose cursor is at the schedule end must
+// finish immediately with the recorded report.
+func TestResumeCompletedRun(t *testing.T) {
+	cfg := ckTestConfig()
+	cfg.Adapt = false
+	cfg.Strategy = HalfV
+	cfg.MaxEpochsPerStage = 2
+	path := t.TempDir() + "/ck.gob"
+	first := NewTrainer(cfg)
+	repA, err := RunSchedule(cfg, first, RunOptions{CheckpointPath: path, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := MultiCycleSchedule(cfg.Strategy, cfg.Levels, cfg.FinestRes, cfg.Cycles)
+	if ck.StageIdx != len(sched) {
+		t.Fatalf("run completed but cursor is (%d, %d), want stage %d", ck.StageIdx, ck.Epoch, len(sched))
+	}
+	resumed := NewTrainer(cfg)
+	repB, err := RunSchedule(cfg, resumed, RunOptions{Resume: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repB.Stages) != len(repA.Stages) || repB.FinalLoss != repA.FinalLoss {
+		t.Fatalf("resumed-complete report %v/%d differs from original %v/%d",
+			repB.FinalLoss, len(repB.Stages), repA.FinalLoss, len(repA.Stages))
+	}
+	paramsEqual(t, first, resumed, "resume of completed run")
+}
+
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	cfg := ckTestConfig()
+	cfg.Adapt = false
+	cfg.MaxEpochsPerStage = 1
+	cfg.RestrictionEpochs = 1
+	path := t.TempDir() + "/ck.gob"
+	if _, err := RunSchedule(cfg, NewTrainer(cfg), RunOptions{CheckpointPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Seed = cfg.Seed + 1
+	if _, err := RunSchedule(other, NewTrainer(other), RunOptions{Resume: ck}); err == nil {
+		t.Fatal("resume with a different seed should be rejected")
+	}
+	wider := cfg
+	net := *cfg.Net
+	net.BaseFilters *= 2
+	wider.Net = &net
+	if _, err := RunSchedule(wider, NewTrainer(wider), RunOptions{Resume: ck}); err == nil {
+		t.Fatal("resume with a different network architecture should be rejected")
+	}
+}
+
+func TestLoadCheckpointErrors(t *testing.T) {
+	if _, err := LoadCheckpoint(t.TempDir() + "/missing.gob"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing checkpoint should wrap os.ErrNotExist, got %v", err)
+	}
+	bad := t.TempDir() + "/corrupt.gob"
+	if err := os.WriteFile(bad, []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(bad); err == nil {
+		t.Fatal("corrupt checkpoint should fail to decode")
+	}
+}
+
+func TestSaveCheckpointUncreatablePath(t *testing.T) {
+	if err := SaveCheckpoint(t.TempDir()+"/missing-dir/ck.gob", &Checkpoint{}); err == nil {
+		t.Fatal("expected an error for an uncreatable path")
+	}
+}

@@ -367,6 +367,108 @@ func TestTrainerBadConfigPanics(t *testing.T) {
 	}
 }
 
+// recordingData wraps a DataSource and records every Batch request so
+// tests can assert the epoch loop's batching behavior.
+type recordingData struct {
+	DataSource
+	calls [][2]int // (start, count)
+}
+
+func (r *recordingData) Batch(start, count, res int) *tensor.Tensor {
+	r.calls = append(r.calls, [2]int{start, count})
+	return r.DataSource.Batch(start, count, res)
+}
+
+// With Samples % BatchSize != 0 the final batch must be clamped, not
+// wrapped: wrapping re-trains the first samples a second time per epoch.
+func TestTrainEpochClampsFinalBatch(t *testing.T) {
+	cfg := tinyConfig(2)
+	cfg.Samples = 5
+	cfg.BatchSize = 2
+	rec := &recordingData{DataSource: field.NewDataset(5, 2)}
+	cfg.Data = rec
+	tr := NewTrainer(cfg)
+	if _, err := tr.TrainEpoch(8); err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int{{0, 2}, {2, 2}, {4, 1}}
+	if len(rec.calls) != len(want) {
+		t.Fatalf("batch calls %v, want %v", rec.calls, want)
+	}
+	for i := range want {
+		if rec.calls[i] != want[i] {
+			t.Fatalf("batch call %d = %v, want %v", i, rec.calls[i], want[i])
+		}
+	}
+	rec.calls = nil
+	if _, err := tr.EvalLoss(8); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.calls) != 3 || rec.calls[2] != [2]int{4, 1} {
+		t.Fatalf("EvalLoss batch calls %v, want clamped final batch", rec.calls)
+	}
+}
+
+// The epoch mean must be per-sample: partitioning 5 samples as 2+2+1 and
+// as one batch of 5 must evaluate to the same dataset loss (up to fp
+// summation order), which per-batch averaging gets wrong.
+func TestEvalLossIsPerSampleMean(t *testing.T) {
+	cfg := tinyConfig(2)
+	cfg.Samples = 5
+	cfg.BatchSize = 5
+	whole := NewTrainer(cfg)
+	cfg2 := cfg
+	cfg2.BatchSize = 2
+	split := NewTrainer(cfg2)
+	la, err := whole.EvalLoss(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := split.EvalLoss(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(la - lb); d > 1e-12*math.Max(1, math.Abs(la)) {
+		t.Fatalf("partition-dependent dataset loss: %v (batch 5) vs %v (batch 2+2+1)", la, lb)
+	}
+}
+
+// Cycle re-entry must merge adjacent same-level stages across the cycle
+// boundary with the later-phase-wins rule: a V cycle ends on the finest
+// prolongation and re-enters with a finest restriction, and emitting both
+// trains the finest level twice back to back.
+func TestMultiCycleScheduleMergesCycleBoundary(t *testing.T) {
+	seq := MultiCycleSchedule(V, 2, 16, 2)
+	wantLv := []int{1, 2, 1, 2, 1}
+	wantPh := []Phase{Restriction, Prolongation, Restriction, Prolongation, Prolongation}
+	if !eqInts(levelsOf(seq), wantLv) {
+		t.Fatalf("2-cycle V levels %v, want %v", levelsOf(seq), wantLv)
+	}
+	for i, s := range seq {
+		if s.Phase != wantPh[i] {
+			t.Fatalf("2-cycle V stage %d phase %v, want %v", i, s.Phase, wantPh[i])
+		}
+	}
+	for _, s := range []Strategy{V, W, F, HalfV} {
+		for _, cycles := range []int{1, 2, 3} {
+			seq := MultiCycleSchedule(s, 3, 32, cycles)
+			for i := 1; i < len(seq); i++ {
+				if seq[i].Level == seq[i-1].Level {
+					t.Errorf("%v cycles=%d: adjacent same-level stages at %d: %v",
+						s, cycles, i, levelsOf(seq))
+				}
+			}
+			last := seq[len(seq)-1]
+			if last.Level != 1 || last.Phase != Prolongation {
+				t.Errorf("%v cycles=%d: must end with the finest prolongation, got %+v", s, cycles, last)
+			}
+		}
+	}
+	if got := len(MultiCycleSchedule(Base, 3, 32, 4)); got != 1 {
+		t.Errorf("Base with cycles should stay a single stage, got %d", got)
+	}
+}
+
 func TestMultiCycleTraining(t *testing.T) {
 	cfg := tinyConfig(2)
 	cfg.Strategy = HalfV

@@ -45,3 +45,22 @@ func (e *EarlyStopper) Reset() {
 	e.bad = 0
 	e.started = false
 }
+
+// StopperState is the serializable snapshot of an EarlyStopper's progress,
+// saved inside training checkpoints so a resumed prolongation stage stops
+// at exactly the epoch the uninterrupted run would have stopped at.
+type StopperState struct {
+	Best    float64
+	Bad     int
+	Started bool
+}
+
+// State snapshots the stopper's progress.
+func (e *EarlyStopper) State() StopperState {
+	return StopperState{Best: e.best, Bad: e.bad, Started: e.started}
+}
+
+// Restore overwrites the stopper's progress with a saved snapshot.
+func (e *EarlyStopper) Restore(s StopperState) {
+	e.best, e.bad, e.started = s.Best, s.Bad, s.Started
+}

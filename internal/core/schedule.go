@@ -138,6 +138,26 @@ func Schedule(s Strategy, levels, finestRes int) []Stage {
 	return dedupeAdjacent(seq)
 }
 
+// MultiCycleSchedule expands a strategy into cycles repetitions of its
+// stage sequence (the several-cycle variation §3.1.2 mentions). Stages are
+// merged across cycle boundaries with the same later-phase-wins rule
+// dedupeAdjacent applies within a cycle: a V cycle ends with the finest
+// prolongation and re-enters with a finest restriction, and that single
+// visit must train once, as a restriction — emitting both would train the
+// finest level twice back to back. Cycles <= 1, and the Base strategy
+// (which has no hierarchy to re-enter), return the single-cycle schedule.
+func MultiCycleSchedule(s Strategy, levels, finestRes, cycles int) []Stage {
+	one := Schedule(s, levels, finestRes)
+	if cycles <= 1 || s == Base {
+		return one
+	}
+	seq := make([]Stage, 0, cycles*len(one))
+	for c := 0; c < cycles; c++ {
+		seq = append(seq, one...)
+	}
+	return dedupeAdjacent(seq)
+}
+
 // wSeq builds the classic W-cycle visitation: at each level, descend twice
 // before the final ascent stage.
 func wSeq(l, levels int, resAt func(int) int) []Stage {

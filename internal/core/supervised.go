@@ -84,23 +84,24 @@ func (s *SupervisedTrainer) label(i, res int) []float64 {
 
 // TrainEpoch runs one supervised epoch at the given resolution: MSE between
 // the BC-imposed prediction and the FEM label, averaged over the batch.
-// It shadows Trainer.TrainEpoch, so Run and BaseCurve must be called via
-// the supervised methods below.
-func (s *SupervisedTrainer) TrainEpoch(res int) float64 {
+// It shadows Trainer.TrainEpoch (so BaseCurve must be called via the
+// supervised methods below) with the same clamped-final-batch, per-sample
+// accounting, and never returns an error.
+func (s *SupervisedTrainer) TrainEpoch(res int) (float64, error) {
 	bs := s.Cfg.BatchSize
 	ns := s.Data.Len()
-	nb := (ns + bs - 1) / bs
 	total := 0.0
-	for mb := 0; mb < nb; mb++ {
-		nu := s.Data.Batch(mb*bs, bs, res)
+	for lo := 0; lo < ns; lo += bs {
+		n := min(bs, ns-lo)
+		nu := s.Data.Batch(lo, n, res)
 		nn.ZeroGrads(s.Net)
 		pred := s.Net.Forward(nu, true)
-		loss, grad := s.mseLoss(pred, mb*bs, res)
+		loss, grad := s.mseLoss(pred, lo, res)
 		s.Net.Backward(grad)
 		s.Opt.Step()
-		total += loss
+		total += loss * float64(n)
 	}
-	return total / float64(nb)
+	return total / float64(ns), nil
 }
 
 // mseLoss computes mean((u_pred − u_FEM)²) over the batch with Algorithm 1
@@ -133,37 +134,15 @@ func isDirichletIdx(i, res int) bool {
 	return ix == 0 || ix == res-1
 }
 
-// Run executes the configured schedule with supervised epochs, reporting
-// stage timings that include on-demand label generation (labels for a
-// resolution are produced the first time that resolution is trained).
+// Run executes the configured schedule with supervised epochs via
+// RunSchedule (the shadowed TrainEpoch makes the SupervisedTrainer its own
+// EpochBackend), reporting stage timings that include on-demand label
+// generation (labels for a resolution are produced the first time that
+// resolution is trained).
 func (s *SupervisedTrainer) Run() *Report {
-	sched := Schedule(s.Cfg.Strategy, s.Cfg.Levels, s.Cfg.FinestRes)
-	rep := &Report{Strategy: s.Cfg.Strategy}
-	startAll := time.Now()
-	for si, st := range sched {
-		begin := time.Now()
-		sr := StageReport{Stage: st}
-		budget := s.Cfg.RestrictionEpochs
-		var stop *EarlyStopper
-		if st.Phase == Prolongation {
-			budget = s.Cfg.MaxEpochsPerStage
-			stop = NewEarlyStopper(s.Cfg.Patience, s.Cfg.MinDelta)
-		}
-		for e := 0; e < budget; e++ {
-			loss := s.TrainEpoch(st.Res)
-			sr.Epochs++
-			sr.FinalLoss = loss
-			rep.History = append(rep.History, EpochRecord{Stage: si, Res: st.Res, Loss: loss})
-			if stop != nil && stop.Observe(loss) {
-				break
-			}
-		}
-		sr.Seconds = time.Since(begin).Seconds()
-		rep.Stages = append(rep.Stages, sr)
-	}
-	rep.TotalSeconds = time.Since(startAll).Seconds()
-	if n := len(rep.Stages); n > 0 {
-		rep.FinalLoss = rep.Stages[n-1].FinalLoss
+	rep, err := RunSchedule(s.Cfg, s, RunOptions{})
+	if err != nil {
+		panic(err) // infallible backend, no checkpoint options
 	}
 	return rep
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"time"
 
@@ -182,105 +183,98 @@ func NewTrainer(cfg Config) *Trainer {
 }
 
 // TrainEpoch runs one epoch at the given resolution following Algorithm 1
-// and returns the mean mini-batch loss.
-func (t *Trainer) TrainEpoch(res int) float64 {
+// and returns the mean per-sample loss. The final mini-batch is clamped
+// when Samples is not divisible by BatchSize — wrapping it around would
+// train the first samples twice per epoch — and each batch's (per-sample
+// mean) loss is weighted by its sample count so the epoch mean is
+// per-sample, not per-batch. TrainEpoch implements EpochBackend; the
+// single-process backend never returns an error.
+func (t *Trainer) TrainEpoch(res int) (float64, error) {
 	bs := t.Cfg.BatchSize
 	ns := t.Data.Len()
-	nb := (ns + bs - 1) / bs
 	total := 0.0
-	for mb := 0; mb < nb; mb++ {
-		nu := t.Data.Batch(mb*bs, bs, res)
+	for lo := 0; lo < ns; lo += bs {
+		n := min(bs, ns-lo)
+		nu := t.Data.Batch(lo, n, res)
 		nn.ZeroGrads(t.Net)
 		pred := t.Net.Forward(nu, true)
 		loss, grad := t.Loss.Eval(pred, nu)
 		t.Net.Backward(grad)
 		t.Opt.Step()
-		total += loss
+		total += loss * float64(n)
 	}
-	return total / float64(nb)
+	return total / float64(ns), nil
 }
 
-// EvalLoss computes the mean loss over the dataset at the given resolution
-// without updating weights.
-func (t *Trainer) EvalLoss(res int) float64 {
+// EvalLoss computes the mean per-sample loss over the dataset at the given
+// resolution without updating weights, with the same clamped-final-batch
+// accounting as TrainEpoch. It implements EpochBackend.
+func (t *Trainer) EvalLoss(res int) (float64, error) {
 	bs := t.Cfg.BatchSize
 	ns := t.Data.Len()
-	nb := (ns + bs - 1) / bs
 	total := 0.0
-	for mb := 0; mb < nb; mb++ {
-		nu := t.Data.Batch(mb*bs, bs, res)
+	for lo := 0; lo < ns; lo += bs {
+		n := min(bs, ns-lo)
+		nu := t.Data.Batch(lo, n, res)
 		pred := t.Net.Forward(nu, false)
 		loss, _ := t.Loss.Eval(pred, nu)
-		total += loss
+		total += loss * float64(n)
 	}
-	return total / float64(nb)
+	return total / float64(ns), nil
 }
 
-// Run executes the configured schedule and returns its report.
+// Params implements EpochBackend: the network's live parameters.
+func (t *Trainer) Params() []*nn.Param { return t.Net.Params() }
+
+// Adapt implements AdaptingBackend: one §4.1.2 adaptation step on the
+// network, with the fresh parameters registered with the optimizer.
+func (t *Trainer) Adapt() error {
+	t.Opt.ExtendParams(t.Net.Adapt())
+	return nil
+}
+
+// ExportState implements StatefulBackend: a unet gob snapshot plus the
+// Adam state in the network's parameter order.
+func (t *Trainer) ExportState() ([]byte, nn.AdamState, error) {
+	var buf bytes.Buffer
+	if err := t.Net.Save(&buf); err != nil {
+		return nil, nn.AdamState{}, err
+	}
+	st, err := t.Opt.ExportStateFor(t.Net.Params())
+	if err != nil {
+		return nil, nn.AdamState{}, err
+	}
+	return buf.Bytes(), st, nil
+}
+
+// ImportState implements StatefulBackend, replacing the trainer's network
+// and optimizer with the snapshot's state. Parameters dropped by a later
+// adaptation are absent from the restored optimizer; their updates never
+// influence a live parameter, so the restored trajectory is bit-identical
+// on the network's parameters.
+func (t *Trainer) ImportState(netBytes []byte, opt nn.AdamState) error {
+	u, err := unet.Load(bytes.NewReader(netBytes))
+	if err != nil {
+		return err
+	}
+	o, err := nn.NewAdamFromState(u.Params(), t.Cfg.LR, opt)
+	if err != nil {
+		return err
+	}
+	t.Net, t.Opt = u, o
+	return nil
+}
+
+// Run executes the configured schedule via RunSchedule with the trainer as
+// its own backend and returns the report.
 func (t *Trainer) Run() *Report {
-	sched := Schedule(t.Cfg.Strategy, t.Cfg.Levels, t.Cfg.FinestRes)
-	if cycles := t.Cfg.Cycles; cycles > 1 && t.Cfg.Strategy != Base {
-		one := sched
-		for c := 1; c < cycles; c++ {
-			// Subsequent cycles re-enter the hierarchy without repeating
-			// the stage the previous cycle ended on.
-			next := one
-			if len(next) > 1 && next[0] == sched[len(sched)-1] {
-				next = next[1:]
-			}
-			sched = append(sched, next...)
-		}
-	}
-	rep := &Report{Strategy: t.Cfg.Strategy}
-	start := time.Now()
-	prevRes := 0
-	for si, st := range sched {
-		adapted := false
-		if t.Cfg.Adapt && prevRes != 0 && st.Res > prevRes {
-			fresh := t.Net.Adapt()
-			t.Opt.ExtendParams(fresh)
-			adapted = true
-		}
-		sr := t.runStage(si, st, rep)
-		sr.Adapted = adapted
-		rep.Stages = append(rep.Stages, sr)
-		if t.Cfg.Logf != nil {
-			t.Cfg.Logf("stage %d/%d: level %d (res %d, %s) epochs=%d loss=%.6f time=%.2fs",
-				si+1, len(sched), st.Level, st.Res, st.Phase, sr.Epochs, sr.FinalLoss, sr.Seconds)
-		}
-		prevRes = st.Res
-	}
-	rep.TotalSeconds = time.Since(start).Seconds()
-	if n := len(rep.Stages); n > 0 {
-		rep.FinalLoss = rep.Stages[n-1].FinalLoss
+	rep, err := RunSchedule(t.Cfg, t, RunOptions{})
+	if err != nil {
+		// The single-process backend is infallible and Run passes no
+		// checkpoint options; only a programming error can land here.
+		panic(err)
 	}
 	return rep
-}
-
-func (t *Trainer) runStage(si int, st Stage, rep *Report) StageReport {
-	begin := time.Now()
-	sr := StageReport{Stage: st}
-	if st.Phase == Restriction {
-		for e := 0; e < t.Cfg.RestrictionEpochs; e++ {
-			loss := t.TrainEpoch(st.Res)
-			sr.Epochs++
-			sr.FinalLoss = loss
-			rep.History = append(rep.History, EpochRecord{Stage: si, Res: st.Res, Loss: loss})
-		}
-	} else {
-		stop := NewEarlyStopper(t.Cfg.Patience, t.Cfg.MinDelta)
-		for e := 0; e < t.Cfg.MaxEpochsPerStage; e++ {
-			loss := t.TrainEpoch(st.Res)
-			sr.Epochs++
-			sr.FinalLoss = loss
-			rep.History = append(rep.History, EpochRecord{Stage: si, Res: st.Res, Loss: loss})
-			if stop.Observe(loss) {
-				break
-			}
-		}
-	}
-	sr.Seconds = time.Since(begin).Seconds()
-	return sr
 }
 
 // CurvePoint is one epoch of a baseline training curve: the loss reached
@@ -300,7 +294,7 @@ func (t *Trainer) BaseCurve(res, maxEpochs int) []CurvePoint {
 	curve := make([]CurvePoint, 0, maxEpochs)
 	start := time.Now()
 	for e := 0; e < maxEpochs; e++ {
-		loss := t.TrainEpoch(res)
+		loss, _ := t.TrainEpoch(res)
 		curve = append(curve, CurvePoint{Epoch: e + 1, Loss: loss, CumSeconds: time.Since(start).Seconds()})
 	}
 	return curve

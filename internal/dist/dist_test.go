@@ -142,7 +142,7 @@ func TestParallelTrainerReplicasStayInSync(t *testing.T) {
 	}
 	defer pt.Close()
 	for e := 0; e < 2; e++ {
-		loss, err := pt.TrainEpoch()
+		loss, err := pt.TrainEpoch(cfg.Res)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -170,7 +170,7 @@ func TestParallelTrainerWorkerCountIndependence(t *testing.T) {
 		}
 		var loss float64
 		for e := 0; e < 2; e++ {
-			if loss, err = pt.TrainEpoch(); err != nil {
+			if loss, err = pt.TrainEpoch(cfg.Res); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -207,7 +207,7 @@ func TestTimeEpochReportsDuration(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pt.Close()
-	dur, loss, err := pt.TimeEpoch()
+	dur, loss, err := pt.TimeEpoch(8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +328,7 @@ func TestParallelTrainerGEMMLoweringStaysInSync(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pt.Close()
-	loss, err := pt.TrainEpoch()
+	loss, err := pt.TrainEpoch(32)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,11 @@
 // all-to-all baseline it is benchmarked against), a data-parallel
 // ParallelTrainer whose goroutine workers stand in for the paper's MPI
 // ranks, and slab-decomposed model-parallel inference with halo exchange.
+// ParallelTrainer trains at a per-epoch resolution and satisfies
+// core.EpochBackend structurally (dist does not import the schedule
+// layer), so core.RunSchedule drives every multigrid strategy
+// data-parallel, with checkpoint/resume through the shared
+// ExportState/ImportState encoding.
 //
 // The paper (§3.2) trains on megavoxel domains by sharding each global
 // mini-batch across devices, computing local gradients of the variational

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"runtime"
@@ -31,7 +32,9 @@ type ParallelConfig struct {
 	Workers int
 	// Dim is the spatial dimensionality (2 or 3).
 	Dim int
-	// Res is the nodal training resolution.
+	// Res is the finest nodal training resolution, validated at
+	// construction. TrainEpoch and EvalLoss take the per-epoch resolution
+	// explicitly so multigrid schedules can move between levels.
 	Res int
 	// Samples is the number of Sobol-sampled diffusivity maps.
 	Samples int
@@ -68,6 +71,23 @@ type workerResult struct {
 	err  error
 }
 
+// workerCmd is one collective operation dispatched to every worker: an
+// optimization epoch (train) or a forward-only dataset evaluation, at the
+// given nodal resolution.
+type workerCmd struct {
+	res   int
+	train bool
+}
+
+// flatLen sums the element counts of a parameter list.
+func flatLen(params []*nn.Param) int {
+	n := 0
+	for _, p := range params {
+		n += p.NumElements()
+	}
+	return n
+}
+
 // ParallelTrainer trains identical U-Net replicas with synchronous
 // data-parallel SGD: each global mini-batch is sharded across workers,
 // local gradients of the variational loss are averaged with RingAllReduce,
@@ -93,7 +113,7 @@ type ParallelTrainer struct {
 
 	reps []*replica
 	trs  []Transport
-	cmds []chan struct{}
+	cmds []chan workerCmd
 	res  chan workerResult
 
 	closeOnce sync.Once
@@ -135,7 +155,7 @@ func NewParallelTrainer(cfg ParallelConfig) (*ParallelTrainer, error) {
 		data: data,
 		reps: make([]*replica, cfg.Workers),
 		trs:  NewChannelRing(cfg.Workers),
-		cmds: make([]chan struct{}, cfg.Workers),
+		cmds: make([]chan workerCmd, cfg.Workers),
 		res:  make(chan workerResult, cfg.Workers),
 	}
 	for w := 0; w < cfg.Workers; w++ {
@@ -145,18 +165,14 @@ func NewParallelTrainer(cfg ParallelConfig) (*ParallelTrainer, error) {
 			net = unet.New(ncfg)
 		}
 		params := net.Params()
-		n := 0
-		for _, p := range params {
-			n += p.NumElements()
-		}
 		pt.reps[w] = &replica{
 			net:    net,
 			loss:   fem.NewEnergyLoss(cfg.Dim),
 			opt:    nn.NewAdam(params, cfg.LR),
 			params: params,
-			flat:   make([]float64, n+1), // +1: the loss rides the allreduce
+			flat:   make([]float64, flatLen(params)+1), // +1: the loss rides the allreduce
 		}
-		pt.cmds[w] = make(chan struct{}, 1)
+		pt.cmds[w] = make(chan workerCmd, 1)
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		go pt.workerLoop(w)
@@ -165,40 +181,56 @@ func NewParallelTrainer(cfg ParallelConfig) (*ParallelTrainer, error) {
 }
 
 func (pt *ParallelTrainer) workerLoop(w int) {
-	for range pt.cmds[w] {
-		loss, err := pt.runEpoch(w)
+	for c := range pt.cmds[w] {
+		var loss float64
+		var err error
+		if c.train {
+			loss, err = pt.runEpoch(w, c.res)
+		} else {
+			loss, err = pt.evalEpoch(w, c.res)
+		}
 		pt.res <- workerResult{rank: w, loss: loss, err: err}
 	}
 }
 
-// runEpoch executes one epoch on worker w: for every global mini-batch it
-// computes the local shard's gradient, scales it by the shard weight,
-// allreduces to the global-batch mean gradient, and applies one Adam step.
-func (pt *ParallelTrainer) runEpoch(w int) (float64, error) {
-	r := pt.reps[w]
+// shard returns worker w's contiguous [lo, hi) slice of an n-sample batch,
+// balanced to within one sample. Workers with an empty shard still join
+// every allreduce.
+func (pt *ParallelTrainer) shard(w, n int) (int, int) {
 	p := pt.Cfg.Workers
+	return w * n / p, (w + 1) * n / p
+}
+
+// runEpoch executes one epoch on worker w at the given resolution: for
+// every global mini-batch it computes the local shard's gradient, scales
+// it by the shard weight, allreduces to the global-batch mean gradient,
+// and applies one Adam step. The final global batch is clamped when
+// Samples is not divisible by GlobalBatch, and each batch's loss rides the
+// allreduce weighted by its shard's sample count — both mirror
+// core.Trainer exactly, so a 1-worker run reproduces the single-process
+// trainer bit for bit.
+func (pt *ParallelTrainer) runEpoch(w, res int) (float64, error) {
+	r := pt.reps[w]
 	B := pt.Cfg.GlobalBatch
-	nb := (pt.Cfg.Samples + B - 1) / B
-	// Contiguous shard [lo, hi) of the global batch; balanced to within one
-	// sample. Workers with an empty shard still join every allreduce.
-	lo := w * B / p
-	hi := (w + 1) * B / p
-	weight := float64(hi-lo) / float64(B)
+	ns := pt.data.Len()
 	lossSlot := len(r.flat) - 1
 
 	total := 0.0
-	for mb := 0; mb < nb; mb++ {
+	for bStart := 0; bStart < ns; bStart += B {
+		bn := min(B, ns-bStart)
+		lo, hi := pt.shard(w, bn)
 		if hi <= lo {
 			// Empty shard: contribute zeros to the allreduce.
 			for i := range r.flat {
 				r.flat[i] = 0
 			}
 		} else {
-			nu := pt.data.Batch(mb*B+lo, hi-lo, pt.Cfg.Res)
+			nu := pt.data.Batch(bStart+lo, hi-lo, res)
 			nn.ZeroGrads(r.net)
 			pred := r.net.Forward(nu, true)
 			lossVal, grad := r.loss.Eval(pred, nu)
 			r.net.Backward(grad)
+			weight := float64(hi-lo) / float64(bn)
 			k := 0
 			for _, pr := range r.params {
 				for _, g := range pr.Grad.Data {
@@ -206,9 +238,9 @@ func (pt *ParallelTrainer) runEpoch(w int) (float64, error) {
 					k++
 				}
 			}
-			r.flat[lossSlot] = lossVal * weight
+			r.flat[lossSlot] = lossVal * float64(hi-lo)
 		}
-		if err := RingAllReduce(w, p, r.flat, pt.trs[w]); err != nil {
+		if err := RingAllReduce(w, pt.Cfg.Workers, r.flat, pt.trs[w]); err != nil {
 			return 0, err
 		}
 		k := 0
@@ -221,21 +253,57 @@ func (pt *ParallelTrainer) runEpoch(w int) (float64, error) {
 		r.opt.Step()
 		total += r.flat[lossSlot]
 	}
-	return total / float64(nb), nil
+	return total / float64(ns), nil
 }
 
-// TrainEpoch runs one synchronous data-parallel epoch and returns the mean
-// global mini-batch loss (identical on every replica by construction).
+// evalEpoch is the forward-only counterpart of runEpoch: every worker
+// evaluates its shard of each batch and a 1-element allreduce assembles
+// the per-sample mean loss without touching gradients or weights.
+func (pt *ParallelTrainer) evalEpoch(w, res int) (float64, error) {
+	r := pt.reps[w]
+	B := pt.Cfg.GlobalBatch
+	ns := pt.data.Len()
+	buf := make([]float64, 1)
+
+	total := 0.0
+	for bStart := 0; bStart < ns; bStart += B {
+		bn := min(B, ns-bStart)
+		lo, hi := pt.shard(w, bn)
+		buf[0] = 0
+		if hi > lo {
+			nu := pt.data.Batch(bStart+lo, hi-lo, res)
+			pred := r.net.Forward(nu, false)
+			lossVal, _ := r.loss.Eval(pred, nu)
+			buf[0] = lossVal * float64(hi-lo)
+		}
+		if err := RingAllReduce(w, pt.Cfg.Workers, buf, pt.trs[w]); err != nil {
+			return 0, err
+		}
+		total += buf[0]
+	}
+	return total / float64(ns), nil
+}
+
+// checkRes validates a per-epoch resolution against the current network.
+func (pt *ParallelTrainer) checkRes(res int) error {
+	if m := pt.reps[0].net.MinInputSize(); res < m || res%m != 0 {
+		return fmt.Errorf("dist: resolution %d must be a positive multiple of the U-Net minimum %d", res, m)
+	}
+	return nil
+}
+
+// runAll dispatches one collective command to every worker and gathers the
+// result (rank 0's loss; identical on every replica by construction).
 //
 // For the duration of the epoch the tensor kernel parallelism is throttled
 // to GOMAXPROCS/Workers so the p in-process replicas do not oversubscribe
 // the CPU with their own parallel kernels — the analogue of pinning OpenMP
 // threads per MPI rank. The previous setting is restored before returning.
-func (pt *ParallelTrainer) TrainEpoch() (float64, error) {
+func (pt *ParallelTrainer) runAll(c workerCmd) (float64, error) {
 	prev := tensor.SetParallelism(max(1, runtime.GOMAXPROCS(0)/pt.Cfg.Workers))
 	defer tensor.SetParallelism(prev)
-	for _, c := range pt.cmds {
-		c <- struct{}{}
+	for _, ch := range pt.cmds {
+		ch <- c
 	}
 	var loss float64
 	var firstErr error
@@ -251,11 +319,88 @@ func (pt *ParallelTrainer) TrainEpoch() (float64, error) {
 	return loss, firstErr
 }
 
-// TimeEpoch runs TrainEpoch under a wall-clock timer.
-func (pt *ParallelTrainer) TimeEpoch() (time.Duration, float64, error) {
+// TrainEpoch runs one synchronous data-parallel epoch at the given nodal
+// resolution and returns the mean per-sample loss. Multigrid schedules
+// call it with a different resolution per stage; the global batch is
+// re-sharded identically at every level, so replicas stay bit-exact across
+// level switches. It implements core.EpochBackend.
+func (pt *ParallelTrainer) TrainEpoch(res int) (float64, error) {
+	if err := pt.checkRes(res); err != nil {
+		return 0, err
+	}
+	return pt.runAll(workerCmd{res: res, train: true})
+}
+
+// EvalLoss computes the mean per-sample loss over the dataset at the given
+// resolution without updating weights, sharding each batch across the
+// workers. It implements core.EpochBackend.
+func (pt *ParallelTrainer) EvalLoss(res int) (float64, error) {
+	if err := pt.checkRes(res); err != nil {
+		return 0, err
+	}
+	return pt.runAll(workerCmd{res: res})
+}
+
+// TimeEpoch runs TrainEpoch at the given resolution under a wall-clock
+// timer.
+func (pt *ParallelTrainer) TimeEpoch(res int) (time.Duration, float64, error) {
 	start := time.Now()
-	loss, err := pt.TrainEpoch()
+	loss, err := pt.TrainEpoch(res)
 	return time.Since(start), loss, err
+}
+
+// Adapt implements core.AdaptingBackend: every replica applies the same
+// §4.1.2 adaptation step and registers the fresh parameters with its
+// optimizer. The replica RNGs were seeded identically and have consumed
+// identical draw sequences, so the fresh layers are born bit-identical on
+// every rank and replica synchronization survives without a broadcast. It
+// must not be called concurrently with an epoch.
+func (pt *ParallelTrainer) Adapt() error {
+	for _, r := range pt.reps {
+		fresh := r.net.Adapt()
+		r.opt.ExtendParams(fresh)
+		r.params = append(r.params, fresh...)
+		r.flat = make([]float64, flatLen(r.params)+1)
+	}
+	return nil
+}
+
+// ExportState implements core.StatefulBackend using replica 0 (replicas
+// are bit-identical while training is synchronous): a unet gob snapshot
+// plus the Adam state in the network's parameter order — the same
+// encoding core.Trainer uses, so checkpoints are portable between
+// single-process and distributed runs.
+func (pt *ParallelTrainer) ExportState() ([]byte, nn.AdamState, error) {
+	var buf bytes.Buffer
+	if err := pt.reps[0].net.Save(&buf); err != nil {
+		return nil, nn.AdamState{}, err
+	}
+	st, err := pt.reps[0].opt.ExportStateFor(pt.reps[0].net.Params())
+	if err != nil {
+		return nil, nn.AdamState{}, err
+	}
+	return buf.Bytes(), st, nil
+}
+
+// ImportState restores every replica from the same snapshot, rebuilding
+// networks, optimizers and allreduce buffers. All replicas decode the same
+// bytes, so they come back bit-identical. It must not be called
+// concurrently with an epoch.
+func (pt *ParallelTrainer) ImportState(netBytes []byte, opt nn.AdamState) error {
+	for _, r := range pt.reps {
+		u, err := unet.Load(bytes.NewReader(netBytes))
+		if err != nil {
+			return err
+		}
+		params := u.Params()
+		o, err := nn.NewAdamFromState(params, pt.Cfg.LR, opt)
+		if err != nil {
+			return err
+		}
+		r.net, r.opt, r.params = u, o, params
+		r.flat = make([]float64, flatLen(params)+1)
+	}
+	return nil
 }
 
 // MaxReplicaDivergence returns the largest absolute parameter difference

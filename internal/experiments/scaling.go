@@ -64,11 +64,11 @@ func Figure9(sc Scale) (*Figure9Result, error) {
 		}
 		// TrainEpoch itself throttles kernel parallelism to GOMAXPROCS/p so
 		// the in-process replicas do not oversubscribe the CPU.
-		if _, _, err := pt.TimeEpoch(); err != nil { // warm-up
+		if _, _, err := pt.TimeEpoch(res); err != nil { // warm-up
 			pt.Close()
 			return nil, err
 		}
-		dur, loss, err := pt.TimeEpoch()
+		dur, loss, err := pt.TimeEpoch(res)
 		pt.Close()
 		if err != nil {
 			return nil, err

@@ -1,6 +1,9 @@
 package nn
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Optimizer updates parameters from their accumulated gradients.
 type Optimizer interface {
@@ -63,6 +66,11 @@ type Adam struct {
 	params []*Param
 	m, v   [][]float64
 	t      int
+	// t0 is the per-parameter step offset: the optimizer's step count at
+	// the moment the parameter was registered. Parameters present from
+	// construction have offset 0; parameters added mid-training by
+	// ExtendParams are t0 steps younger than the optimizer.
+	t0 []int
 }
 
 // NewAdam builds an Adam optimizer with the standard (0.9, 0.999, 1e-8)
@@ -77,6 +85,7 @@ func NewAdam(params []*Param, lr float64) *Adam {
 	}
 	a.m = make([][]float64, len(params))
 	a.v = make([][]float64, len(params))
+	a.t0 = make([]int, len(params))
 	for i, p := range params {
 		a.m[i] = make([]float64, p.Data.Len())
 		a.v[i] = make([]float64, p.Data.Len())
@@ -84,12 +93,16 @@ func NewAdam(params []*Param, lr float64) *Adam {
 	return a
 }
 
-// Step implements Optimizer.
+// Step implements Optimizer. Bias corrections use each parameter's own age
+// t − t0 rather than the shared step counter: correcting the zero moments
+// of a parameter registered at step t0 with the global count would make
+// 1−β^t ≈ 1 and silently scale its first update by ~(1−β₁) instead of 1.
 func (a *Adam) Step() {
 	a.t++
-	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
-	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
 	for i, p := range a.params {
+		tEff := float64(a.t - a.t0[i])
+		c1 := 1 - math.Pow(a.Beta1, tEff)
+		c2 := 1 - math.Pow(a.Beta2, tEff)
 		m, v := a.m[i], a.v[i]
 		for j := range p.Data.Data {
 			g := p.Grad.Data[j]
@@ -107,11 +120,81 @@ func (a *Adam) Params() []*Param { return a.params }
 
 // ExtendParams registers additional parameters mid-training. This supports
 // the paper's architectural adaptation (§4.1.2), where fresh layers with
-// random weights are inserted when moving to a finer resolution.
+// random weights are inserted when moving to a finer resolution. The new
+// parameters start their bias-correction clock at the current step (see
+// Step), so their first update matches a freshly constructed Adam's.
 func (a *Adam) ExtendParams(newParams []*Param) {
 	for _, p := range newParams {
 		a.params = append(a.params, p)
 		a.m = append(a.m, make([]float64, p.Data.Len()))
 		a.v = append(a.v, make([]float64, p.Data.Len()))
+		a.t0 = append(a.t0, a.t)
 	}
+}
+
+// AdamState is the optimizer's full training state for a chosen parameter
+// ordering: the shared step counter plus each parameter's step offset and
+// first/second moment vectors. It is gob-serialized inside the training
+// checkpoints of internal/core.
+type AdamState struct {
+	T       int
+	Offsets []int
+	M, V    [][]float64
+}
+
+// ExportStateFor deep-copies the optimizer state for the given parameters,
+// in the given order. Every listed parameter must be managed by this
+// optimizer. Managed parameters that are not listed (e.g. layers dropped
+// by a later architectural adaptation) are omitted: their moments never
+// influence another parameter's update, so restoring from the result
+// reproduces the exact trajectory of every listed parameter.
+func (a *Adam) ExportStateFor(params []*Param) (AdamState, error) {
+	idx := make(map[*Param]int, len(a.params))
+	for i, p := range a.params {
+		idx[p] = i
+	}
+	s := AdamState{
+		T:       a.t,
+		Offsets: make([]int, len(params)),
+		M:       make([][]float64, len(params)),
+		V:       make([][]float64, len(params)),
+	}
+	for j, p := range params {
+		i, ok := idx[p]
+		if !ok {
+			return AdamState{}, fmt.Errorf("nn: parameter %d (%s) not managed by this optimizer", j, p.Name)
+		}
+		s.Offsets[j] = a.t0[i]
+		s.M[j] = append([]float64(nil), a.m[i]...)
+		s.V[j] = append([]float64(nil), a.v[i]...)
+	}
+	return s, nil
+}
+
+// NewAdamFromState rebuilds an Adam optimizer over params from a state
+// exported with ExportStateFor using the same parameter ordering. The
+// state is validated whole before any of it is adopted.
+func NewAdamFromState(params []*Param, lr float64, s AdamState) (*Adam, error) {
+	if len(s.Offsets) != len(params) || len(s.M) != len(params) || len(s.V) != len(params) {
+		return nil, fmt.Errorf("nn: Adam state covers %d/%d/%d parameters, want %d",
+			len(s.Offsets), len(s.M), len(s.V), len(params))
+	}
+	for i, p := range params {
+		if len(s.M[i]) != p.Data.Len() || len(s.V[i]) != p.Data.Len() {
+			return nil, fmt.Errorf("nn: Adam state parameter %d has %d/%d moments, want %d",
+				i, len(s.M[i]), len(s.V[i]), p.Data.Len())
+		}
+		if s.Offsets[i] < 0 || s.Offsets[i] > s.T {
+			return nil, fmt.Errorf("nn: Adam state parameter %d has step offset %d outside [0, %d]",
+				i, s.Offsets[i], s.T)
+		}
+	}
+	a := NewAdam(params, lr)
+	a.t = s.T
+	for i := range params {
+		a.t0[i] = s.Offsets[i]
+		copy(a.m[i], s.M[i])
+		copy(a.v[i], s.V[i])
+	}
+	return a, nil
 }

@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func adamTestParam(name string, vals ...float64) *Param {
+	p := NewParam(name, len(vals))
+	copy(p.Data.Data, vals)
+	return p
+}
+
+func setGrad(p *Param, vals ...float64) {
+	copy(p.Grad.Data, vals)
+}
+
+// A parameter registered mid-training via ExtendParams must receive exactly
+// the update a fresh Adam would give it: the shared step counter previously
+// made its bias corrections 1−β^t ≈ 1 on zero moments, scaling its first
+// update by ~(1−β₁).
+func TestAdamExtendParamsMatchesFreshAdam(t *testing.T) {
+	const lr = 1e-2
+	a := adamTestParam("a", 0.5, -0.25, 1.0)
+	opt := NewAdam([]*Param{a}, lr)
+	for step := 0; step < 5; step++ {
+		setGrad(a, 0.3, -0.1, 0.7)
+		opt.Step()
+	}
+
+	// Register a fresh parameter after 5 steps and mirror it in a brand-new
+	// optimizer.
+	b := adamTestParam("b", 2.0, -1.5)
+	bFresh := adamTestParam("b", 2.0, -1.5)
+	opt.ExtendParams([]*Param{b})
+	optFresh := NewAdam([]*Param{bFresh}, lr)
+
+	for step := 0; step < 3; step++ {
+		g := []float64{0.4 + float64(step), -0.2}
+		setGrad(a, 0, 0, 0)
+		setGrad(b, g...)
+		setGrad(bFresh, g...)
+		opt.Step()
+		optFresh.Step()
+		for j := range b.Data.Data {
+			if b.Data.Data[j] != bFresh.Data.Data[j] {
+				t.Fatalf("step %d elem %d: extended param %g, fresh Adam %g",
+					step, j, b.Data.Data[j], bFresh.Data.Data[j])
+			}
+		}
+	}
+}
+
+// With the old shared-counter correction the very first update of a
+// late-registered parameter was ~(1−β₁)·lr·sign(g) instead of ~lr·sign(g);
+// pin the correct magnitude explicitly.
+func TestAdamLateParamFirstUpdateMagnitude(t *testing.T) {
+	const lr = 1e-2
+	a := adamTestParam("a", 1)
+	opt := NewAdam([]*Param{a}, lr)
+	for step := 0; step < 50; step++ {
+		setGrad(a, 1)
+		opt.Step()
+	}
+	b := adamTestParam("b", 0)
+	opt.ExtendParams([]*Param{b})
+	setGrad(a, 0)
+	setGrad(b, 1)
+	opt.Step()
+	// First Adam update on a constant gradient is lr·g/(|g|+ε) ≈ lr.
+	if got := -b.Data.Data[0]; math.Abs(got-lr) > 1e-6*lr {
+		t.Fatalf("first update of late param = %g, want ≈ %g", got, lr)
+	}
+}
+
+func TestAdamStateRoundTrip(t *testing.T) {
+	const lr = 3e-3
+	a := adamTestParam("a", 0.1, 0.2)
+	b := adamTestParam("b", -0.4)
+	opt := NewAdam([]*Param{a, b}, lr)
+	for step := 0; step < 4; step++ {
+		setGrad(a, 0.5, -0.5)
+		setGrad(b, 0.25)
+		opt.Step()
+	}
+	c := adamTestParam("c", 1.5)
+	opt.ExtendParams([]*Param{c})
+
+	// Export in a permuted order, restore onto cloned parameters, and check
+	// the two optimizers produce bit-identical trajectories.
+	order := []*Param{c, a, b}
+	st, err := opt.ExportStateFor(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := adamTestParam("a", a.Data.Data...)
+	b2 := adamTestParam("b", b.Data.Data...)
+	c2 := adamTestParam("c", c.Data.Data...)
+	opt2, err := NewAdamFromState([]*Param{c2, a2, b2}, lr, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 3; step++ {
+		setGrad(a, 0.1, 0.9)
+		setGrad(b, -0.3)
+		setGrad(c, 0.8)
+		setGrad(a2, 0.1, 0.9)
+		setGrad(b2, -0.3)
+		setGrad(c2, 0.8)
+		opt.Step()
+		opt2.Step()
+	}
+	for i, pair := range [][2]*Param{{a, a2}, {b, b2}, {c, c2}} {
+		for j := range pair[0].Data.Data {
+			if pair[0].Data.Data[j] != pair[1].Data.Data[j] {
+				t.Fatalf("param %d elem %d diverged after state round trip", i, j)
+			}
+		}
+	}
+}
+
+func TestAdamStateErrors(t *testing.T) {
+	a := adamTestParam("a", 1, 2)
+	opt := NewAdam([]*Param{a}, 1e-3)
+	stranger := adamTestParam("stranger", 0)
+	if _, err := opt.ExportStateFor([]*Param{stranger}); err == nil {
+		t.Error("exporting an unmanaged parameter should fail")
+	}
+	st, err := opt.ExportStateFor([]*Param{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAdamFromState([]*Param{a, stranger}, 1e-3, st); err == nil {
+		t.Error("count mismatch should fail")
+	}
+	if _, err := NewAdamFromState([]*Param{stranger}, 1e-3, st); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	bad := st
+	bad.Offsets = []int{5} // offset beyond T
+	if _, err := NewAdamFromState([]*Param{a}, 1e-3, bad); err == nil {
+		t.Error("offset beyond step counter should fail")
+	}
+}
