@@ -1,5 +1,5 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr3.json
+BENCH_OUT ?= BENCH_pr4.json
 
 .PHONY: all build vet test race bench ci clean
 
@@ -21,12 +21,13 @@ race:
 ci: vet test
 
 # Run the strong-scaling benchmarks (Figure 9: allreduce ablation +
-# data-parallel epoch sweep), the Conv3D direct-vs-GEMM lowering ablation,
-# and the distributed Half-V stage (multigrid schedule through the
-# data-parallel backend), and save them as JSON to extend the perf
-# trajectory; the raw `go test -bench` text is kept alongside.
+# data-parallel epoch sweep), the bucketed comm/compute-overlap ablation,
+# the Conv3D direct-vs-GEMM lowering ablation, and the distributed Half-V
+# stage (multigrid schedule through the data-parallel backend), and save
+# them as JSON to extend the perf trajectory; the raw `go test -bench`
+# text is kept alongside.
 bench:
-	$(GO) test -run '^$$' -bench 'Figure9|AblationConv3D|DistHalfVStage' -benchmem . | tee BENCH_raw.txt
+	$(GO) test -run '^$$' -bench 'Figure9|BucketedAllreduceOverlap|AblationConv3D|DistHalfVStage' -benchmem . | tee BENCH_raw.txt
 	awk 'BEGIN { print "[" } \
 	  /^Benchmark/ { \
 	    if (n++) printf(",\n"); \

@@ -142,13 +142,20 @@ type DataSource interface {
 	Batch(start, count, res int) *tensor.Tensor
 }
 
-// Trainer owns the network, loss, dataset and optimizer of one run.
+// Trainer owns the network, loss, dataset and optimizer of one run. The
+// network's parameters are arena-backed (nn.Arena): gradients live in one
+// contiguous slab zeroed with a single memset per batch, and the Adam
+// update runs as a fused sweep over the flat slabs — the same storage
+// layout the distributed backend uses, so checkpoints and trajectories
+// stay bit-identical across backends.
 type Trainer struct {
 	Cfg  Config
 	Net  *unet.UNet
 	Loss *fem.EnergyLoss
 	Data DataSource
 	Opt  *nn.Adam
+
+	arena *nn.Arena
 }
 
 // NewTrainer builds a trainer with a fresh U-Net and Sobol dataset.
@@ -173,12 +180,14 @@ func NewTrainer(cfg Config) *Trainer {
 	if data == nil {
 		data = field.NewDataset(cfg.Samples, cfg.Dim)
 	}
+	params := net.Params()
 	return &Trainer{
-		Cfg:  cfg,
-		Net:  net,
-		Loss: fem.NewEnergyLoss(cfg.Dim),
-		Data: data,
-		Opt:  nn.NewAdam(net.Params(), cfg.LR),
+		Cfg:   cfg,
+		Net:   net,
+		Loss:  fem.NewEnergyLoss(cfg.Dim),
+		Data:  data,
+		Opt:   nn.NewAdam(params, cfg.LR),
+		arena: nn.NewArena(params),
 	}
 }
 
@@ -196,7 +205,7 @@ func (t *Trainer) TrainEpoch(res int) (float64, error) {
 	for lo := 0; lo < ns; lo += bs {
 		n := min(bs, ns-lo)
 		nu := t.Data.Batch(lo, n, res)
-		nn.ZeroGrads(t.Net)
+		t.arena.ZeroGrad()
 		pred := t.Net.Forward(nu, true)
 		loss, grad := t.Loss.Eval(pred, nu)
 		t.Net.Backward(grad)
@@ -227,9 +236,12 @@ func (t *Trainer) EvalLoss(res int) (float64, error) {
 func (t *Trainer) Params() []*nn.Param { return t.Net.Params() }
 
 // Adapt implements AdaptingBackend: one §4.1.2 adaptation step on the
-// network, with the fresh parameters registered with the optimizer.
+// network, with the fresh parameters folded into the arena and registered
+// with the optimizer.
 func (t *Trainer) Adapt() error {
-	t.Opt.ExtendParams(t.Net.Adapt())
+	fresh := t.Net.Adapt()
+	t.arena.Extend(fresh)
+	t.Opt.ExtendParams(fresh)
 	return nil
 }
 
@@ -257,11 +269,13 @@ func (t *Trainer) ImportState(netBytes []byte, opt nn.AdamState) error {
 	if err != nil {
 		return err
 	}
-	o, err := nn.NewAdamFromState(u.Params(), t.Cfg.LR, opt)
+	params := u.Params()
+	arena := nn.NewArena(params)
+	o, err := nn.NewAdamFromState(params, t.Cfg.LR, opt)
 	if err != nil {
 		return err
 	}
-	t.Net, t.Opt = u, o
+	t.Net, t.Opt, t.arena = u, o, arena
 	return nil
 }
 

@@ -4,9 +4,17 @@ import "fmt"
 
 // chunkOffsets partitions [0, n) into p nearly equal contiguous spans and
 // returns the p+1 boundary offsets. The first n%p chunks are one element
-// longer, so chunk 0 is always a largest chunk.
+// longer, so chunk 0 is always a largest chunk. When n < p the trailing
+// chunks are empty (zero-length spans); n == 0 makes every chunk empty.
 func chunkOffsets(n, p int) []int {
-	off := make([]int, p+1)
+	return chunkOffsetsInto(make([]int, p+1), n, p)
+}
+
+// chunkOffsetsInto is chunkOffsets writing into a caller-provided buffer
+// of length p+1, so persistent communicators can partition without
+// allocating.
+func chunkOffsetsInto(off []int, n, p int) []int {
+	off[0] = 0
 	base, rem := n/p, n%p
 	for c := 0; c < p; c++ {
 		off[c+1] = off[c] + base
@@ -44,6 +52,13 @@ func checkCollective(rank, p int, tr Transport) error {
 // order and then broadcast, so all ranks end with bit-identical values —
 // the property ParallelTrainer relies on to keep replicas in lockstep.
 // All ranks must call RingAllReduce with equal-length x.
+//
+// Each chunk's accumulation order starts at a different rank (a property
+// of the ring schedule), so results depend on where the chunk boundaries
+// fall; the trainer's bucketed overlapped path needs chunking-invariant
+// sums and therefore uses Communicator.AllReduce instead. This one-shot
+// function allocates its scratch per call; steady-state callers should go
+// through Communicator.RingAllReduce, which reuses persistent scratch.
 func RingAllReduce(rank, p int, x []float64, tr Transport) error {
 	if err := checkCollective(rank, p, tr); err != nil {
 		return err
@@ -52,9 +67,14 @@ func RingAllReduce(rank, p int, x []float64, tr Transport) error {
 		return nil
 	}
 	off := chunkOffsets(len(x), p)
+	return ringAllReduce(rank, p, x, tr, off, make([]float64, off[1]-off[0]))
+}
+
+// ringAllReduce is the ring schedule over caller-provided chunk offsets
+// and scratch (len >= off[1]-off[0], chunk 0 being a largest chunk).
+func ringAllReduce(rank, p int, x []float64, tr Transport, off []int, scratch []float64) error {
 	right := (rank + 1) % p
 	left := (rank - 1 + p) % p
-	scratch := make([]float64, off[1]-off[0]) // chunk 0 is a largest chunk
 
 	// Phase 1: reduce-scatter. After p-1 steps rank r owns the fully
 	// reduced chunk (r+1) mod p.

@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"mgdiffnet/internal/nn"
+	"mgdiffnet/internal/unet"
+)
+
+// defaultBucketElems is the gradient-bucket granularity (float64 elements)
+// when ParallelConfig.BucketElems is zero: 8192 elements = 64 KiB, a few
+// buckets for the paper's networks — small enough that the first bucket's
+// allreduce starts while most of backward is still ahead, large enough
+// that per-bucket collective latency amortizes.
+const defaultBucketElems = 8192
+
+// bucketPlan fixes the comm/compute overlap schedule for one arena
+// layout: the gradient slab is cut at fixed element boundaries into
+// buckets, and each bucket's ring reduction starts as soon as every
+// backward group overlapping it has produced its final gradients. All
+// fields are derived deterministically from the network structure and the
+// bucket size, so every replica computes the identical plan — which is
+// what keeps the per-batch collective sequence identical across ranks
+// (including ranks that skipped backward because their shard was empty;
+// they replay `order` verbatim).
+type bucketPlan struct {
+	// bounds holds the nb+1 slab offsets of the fixed bucket boundaries.
+	bounds []int
+	// order lists bucket indices in completion order: bucket order[k]
+	// finishes no later than order[k+1] as backward walks its groups.
+	order []int
+	// groups[g] lists the buckets overlapped by backward group g; when the
+	// group's gradients finalize, each listed bucket's remaining count
+	// drops by one, and buckets reaching zero are released in `order`.
+	groups [][]int
+	// remainingInit is the per-bucket overlap count that the per-batch
+	// countdown starts from.
+	remainingInit []int
+}
+
+// newBucketPlan builds the plan for a network whose parameters live in ar.
+// bucketElems fixes the bucket boundaries; the last bucket is shorter when
+// the slab length is not a multiple.
+func newBucketPlan(net *unet.UNet, ar *nn.Arena, bucketElems int) (*bucketPlan, error) {
+	if bucketElems <= 0 {
+		bucketElems = defaultBucketElems
+	}
+	n := ar.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("dist: bucket plan over an empty arena")
+	}
+	nb := (n + bucketElems - 1) / bucketElems
+	p := &bucketPlan{bounds: make([]int, nb+1), remainingInit: make([]int, nb)}
+	for b := 0; b < nb; b++ {
+		p.bounds[b+1] = min((b+1)*bucketElems, n)
+	}
+
+	groups := net.BackwardParamGroups()
+	covered := 0
+	lastGroup := make([]int, nb) // completion index: last group touching each bucket
+	for b := range lastGroup {
+		lastGroup[b] = -1
+	}
+	p.groups = make([][]int, len(groups))
+	for g, ps := range groups {
+		gLo, gHi := n, 0
+		for _, pr := range ps {
+			lo, hi, ok := ar.Span(pr)
+			if !ok {
+				return nil, fmt.Errorf("dist: parameter %q of backward group %d not covered by the arena", pr.Name, g)
+			}
+			covered += hi - lo
+			gLo = min(gLo, lo)
+			gHi = max(gHi, hi)
+		}
+		for b := gLo / bucketElems; b*bucketElems < gHi && b < nb; b++ {
+			p.groups[g] = append(p.groups[g], b)
+			p.remainingInit[b]++
+			lastGroup[b] = max(lastGroup[b], g)
+		}
+	}
+	if covered != n {
+		return nil, fmt.Errorf("dist: backward groups cover %d of %d arena elements", covered, n)
+	}
+	p.order = make([]int, nb)
+	for b := range p.order {
+		p.order[b] = b
+	}
+	sort.SliceStable(p.order, func(i, j int) bool {
+		return lastGroup[p.order[i]] < lastGroup[p.order[j]]
+	})
+	return p, nil
+}
+
+// numBuckets returns the bucket count.
+func (p *bucketPlan) numBuckets() int { return len(p.bounds) - 1 }

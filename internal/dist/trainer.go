@@ -46,6 +46,13 @@ type ParallelConfig struct {
 	// Seed fixes weight initialization; every replica uses the same seed
 	// so all start from identical parameters.
 	Seed int64
+	// BucketElems is the gradient-bucket granularity (in float64 elements)
+	// of the communication/computation-overlapped allreduce; 0 selects the
+	// 8192-element default. Bucket boundaries are fixed by this value and
+	// the parameter layout alone, and the collective's summation order is
+	// chunking-invariant (Communicator.AllReduceFrom), so the trained
+	// weights are bit-identical for every bucket size.
+	BucketElems int
 	// Net overrides the default U-Net configuration when non-nil (Dim and
 	// Seed are forced to match this config).
 	Net *unet.Config
@@ -53,16 +60,170 @@ type ParallelConfig struct {
 	Data DataSource
 }
 
-// replica is one data-parallel worker: its own model, loss, and optimizer,
-// plus the flat gradient buffer exchanged through the allreduce. The last
-// element of flat carries the replica's weighted mini-batch loss, so the
-// same allreduce that averages gradients also produces the global loss.
+// batchReuser is the optional DataSource fast path: rasterize a mini-batch
+// into a caller-owned tensor instead of allocating one per call.
+// field.Dataset implements it.
+type batchReuser interface {
+	BatchInto(dst *tensor.Tensor, start, count, res int) *tensor.Tensor
+}
+
+// lossBucket is the collective id of the 1-element loss allreduce that is
+// enqueued ahead of every batch's gradient buckets.
+const lossBucket = -1
+
+// replica is one data-parallel worker: its own model, loss and optimizer,
+// with all parameters and gradients arena-backed (nn.Arena) so the
+// allreduce operates on the gradient slab in place — no per-batch
+// gather/scatter — and a persistent Communicator plus comm goroutine that
+// overlap each gradient bucket's reduction with the remainder of the
+// backward pass.
 type replica struct {
 	net    *unet.UNet
 	loss   *fem.EnergyLoss
 	opt    *nn.Adam
 	params []*nn.Param
-	flat   []float64
+	arena  *nn.Arena
+	comm   *Communicator
+	plan   *bucketPlan
+
+	in      *tensor.Tensor // reused mini-batch input (batchReuser)
+	lossBuf []float64      // 1-element loss collective buffer
+
+	// Per-batch overlap state. The compute goroutine writes weight and
+	// contrib before enqueuing the batch's first collective and never
+	// touches them again until the batch completes; the comm goroutine
+	// reads them only after receiving an id, so the bucket channel's
+	// send/receive pairs order every access.
+	weight    float64
+	contrib   []bool
+	remaining []int // per-bucket countdown of outstanding backward groups
+	cursor    int   // next position in plan.order to release
+	hook      func(group int)
+
+	buckets chan int   // collective ids in execution order; lossBucket first
+	done    chan error // one result per completed batch
+}
+
+// startComm launches the communication goroutine over a fresh bucket
+// channel. The channel buffers a whole batch's ids, so the backward hook
+// never blocks on a slow collective. Single-worker trainers skip the
+// goroutine entirely.
+func (r *replica) startComm() {
+	if r.comm.Peers() == 1 {
+		return
+	}
+	r.buckets = make(chan int, r.plan.numBuckets()+1)
+	go r.commLoop(r.plan, r.buckets)
+}
+
+// stopComm shuts the communication goroutine down; it must not be called
+// while an epoch is in flight.
+func (r *replica) stopComm() {
+	if r.buckets != nil {
+		close(r.buckets)
+		r.buckets = nil
+	}
+}
+
+// replan recomputes the bucket schedule after the parameter layout changed
+// (architectural adaptation, checkpoint restore) and restarts the comm
+// goroutine over it.
+func (r *replica) replan(bucketElems int) error {
+	plan, err := newBucketPlan(r.net, r.arena, bucketElems)
+	if err != nil {
+		return err
+	}
+	r.stopComm()
+	r.plan = plan
+	r.remaining = make([]int, plan.numBuckets())
+	r.startComm()
+	return nil
+}
+
+// commLoop executes the enqueued collectives in order. Every rank enqueues
+// the identical id sequence for every batch (loss first, then buckets in
+// plan-completion order), so the sequential per-rank processing matches up
+// across ranks and the in-order channel transport keeps messages of
+// consecutive collectives from mixing. Scaling a contributing rank's
+// bucket by its shard weight happens here, just before the reduction —
+// overlapped with the compute goroutine's ongoing backward like the
+// reduction itself.
+func (r *replica) commLoop(plan *bucketPlan, buckets chan int) {
+	count := 0
+	total := plan.numBuckets() + 1
+	var firstErr error
+	for id := range buckets {
+		var err error
+		if id == lossBucket {
+			err = r.comm.AllReduceFrom(r.lossBuf, r.contrib)
+		} else {
+			lo, hi := plan.bounds[id], plan.bounds[id+1]
+			span := r.arena.Grad()[lo:hi]
+			if r.contrib[r.comm.Rank()] && r.weight != 1 {
+				for i := range span {
+					span[i] *= r.weight
+				}
+			}
+			err = r.comm.AllReduceFrom(span, r.contrib)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if count++; count == total {
+			r.done <- firstErr
+			count, firstErr = 0, nil
+		}
+	}
+}
+
+// beginBatch arms the per-batch countdown and enqueues the loss collective
+// — known before backward even starts, so it overlaps the whole pass.
+func (r *replica) beginBatch() {
+	copy(r.remaining, r.plan.remainingInit)
+	r.cursor = 0
+	r.buckets <- lossBucket
+}
+
+// onGroup is the BackwardWithHook callback: group g's gradients are final,
+// so its buckets' countdowns drop and every bucket whose countdown reached
+// zero is released to the comm goroutine. plan.order is sorted by
+// completion, so the ready buckets always form a prefix.
+func (r *replica) onGroup(g int) {
+	for _, b := range r.plan.groups[g] {
+		r.remaining[b]--
+	}
+	for r.cursor < len(r.plan.order) && r.remaining[r.plan.order[r.cursor]] == 0 {
+		r.buckets <- r.plan.order[r.cursor]
+		r.cursor++
+	}
+}
+
+// flushBuckets releases any bucket the hook sequence left behind. With a
+// consistent plan this is dead code, but it keeps a planning bug from
+// deadlocking the batch — every rank flushes identically, so the
+// collective sequence stays aligned either way.
+func (r *replica) flushBuckets() {
+	for r.cursor < len(r.plan.order) {
+		r.buckets <- r.plan.order[r.cursor]
+		r.cursor++
+	}
+}
+
+// enqueueAll releases every bucket in plan order; empty-shard ranks use it
+// in place of running backward.
+func (r *replica) enqueueAll() {
+	r.cursor = 0
+	r.flushBuckets()
+}
+
+// nextBatch materializes the replica's shard of a mini-batch, reusing the
+// replica-owned input tensor when the data source supports it.
+func (r *replica) nextBatch(data DataSource, start, count, res int) *tensor.Tensor {
+	if br, ok := data.(batchReuser); ok {
+		r.in = br.BatchInto(r.in, start, count, res)
+		return r.in
+	}
+	return data.Batch(start, count, res)
 }
 
 type workerResult struct {
@@ -79,21 +240,45 @@ type workerCmd struct {
 	train bool
 }
 
-// flatLen sums the element counts of a parameter list.
-func flatLen(params []*nn.Param) int {
-	n := 0
-	for _, p := range params {
-		n += p.NumElements()
+// newReplica wires one worker: an arena-backed network (buffer reuse on —
+// the replica owns its activations outright), a private loss with scratch
+// reuse, the optimizer over the arena'd parameters (which selects the
+// fused flat Adam step), a persistent communicator, and the bucket plan
+// plus comm goroutine of the overlapped allreduce.
+func newReplica(net *unet.UNet, dim, workers int, lr float64, tr Transport, bucketElems int) (*replica, error) {
+	net.SetBufferReuse(true)
+	loss := fem.NewEnergyLoss(dim)
+	loss.SetScratchReuse(true)
+	params := net.Params()
+	r := &replica{
+		net:     net,
+		loss:    loss,
+		opt:     nn.NewAdam(params, lr),
+		params:  params,
+		arena:   nn.NewArena(params),
+		comm:    NewCommunicator(tr),
+		lossBuf: make([]float64, 1),
+		contrib: make([]bool, workers),
+		done:    make(chan error, 1),
 	}
-	return n
+	r.hook = r.onGroup
+	if err := r.replan(bucketElems); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // ParallelTrainer trains identical U-Net replicas with synchronous
 // data-parallel SGD: each global mini-batch is sharded across workers,
-// local gradients of the variational loss are averaged with RingAllReduce,
-// and every replica applies the same Adam step. Because gradient averaging
-// is bit-deterministic, the replica parameters stay exactly synchronized,
-// checked by MaxReplicaDivergence.
+// local gradients of the variational loss are produced directly in a flat
+// arena slab and averaged bucket-by-bucket through a persistent
+// Communicator — each fixed-boundary bucket's reduction starts as soon as
+// backward finalizes its layers and runs concurrently with the rest of
+// the backward pass (the DDP overlap strategy) — and every replica
+// applies the same fused Adam step to the reduced slab. Because gradient
+// averaging is bit-deterministic (and, with the rank-order collective,
+// independent of the bucket boundaries), the replica parameters stay
+// exactly synchronized, checked by MaxReplicaDivergence.
 //
 // Worker-count independence (Eq. 15) — the same training trajectory for
 // every p — additionally requires the local gradients to be independent of
@@ -131,6 +316,9 @@ func NewParallelTrainer(cfg ParallelConfig) (*ParallelTrainer, error) {
 	if cfg.Samples < 1 || cfg.GlobalBatch < 1 {
 		return nil, fmt.Errorf("dist: Samples and GlobalBatch must be >= 1")
 	}
+	if cfg.BucketElems < 0 {
+		return nil, fmt.Errorf("dist: BucketElems must be >= 0, got %d", cfg.BucketElems)
+	}
 	var ncfg unet.Config
 	if cfg.Net != nil {
 		ncfg = *cfg.Net
@@ -164,14 +352,11 @@ func NewParallelTrainer(cfg ParallelConfig) (*ParallelTrainer, error) {
 			// Same config and seed: identical initial weights on every rank.
 			net = unet.New(ncfg)
 		}
-		params := net.Params()
-		pt.reps[w] = &replica{
-			net:    net,
-			loss:   fem.NewEnergyLoss(cfg.Dim),
-			opt:    nn.NewAdam(params, cfg.LR),
-			params: params,
-			flat:   make([]float64, flatLen(params)+1), // +1: the loss rides the allreduce
+		r, err := newReplica(net, cfg.Dim, cfg.Workers, cfg.LR, pt.trs[w], cfg.BucketElems)
+		if err != nil {
+			return nil, err
 		}
+		pt.reps[w] = r
 		pt.cmds[w] = make(chan workerCmd, 1)
 	}
 	for w := 0; w < cfg.Workers; w++ {
@@ -202,84 +387,96 @@ func (pt *ParallelTrainer) shard(w, n int) (int, int) {
 }
 
 // runEpoch executes one epoch on worker w at the given resolution: for
-// every global mini-batch it computes the local shard's gradient, scales
-// it by the shard weight, allreduces to the global-batch mean gradient,
-// and applies one Adam step. The final global batch is clamped when
-// Samples is not divisible by GlobalBatch, and each batch's loss rides the
-// allreduce weighted by its shard's sample count — both mirror
-// core.Trainer exactly, so a 1-worker run reproduces the single-process
-// trainer bit for bit.
+// every global mini-batch it computes the local shard's gradient directly
+// into the arena's gradient slab, scales and allreduces each fixed
+// gradient bucket as soon as backward finalizes it (overlapping the
+// reductions with the rest of the backward pass), and applies one fused
+// Adam step to the reduced slab. The final global batch is clamped when
+// Samples is not divisible by GlobalBatch, and each batch's loss is a
+// separate 1-element collective weighted by the shard's sample count —
+// both mirror core.Trainer exactly, so a 1-worker run reproduces the
+// single-process trainer bit for bit.
+//
+// Empty shards (more workers than samples in a clamped batch) neither run
+// backward nor zero-fill the slab: they replay the plan's bucket order
+// verbatim and the collective skips non-contributors, overwriting their
+// slab with the reduced result during the all-gather.
 func (pt *ParallelTrainer) runEpoch(w, res int) (float64, error) {
 	r := pt.reps[w]
+	p := pt.Cfg.Workers
 	B := pt.Cfg.GlobalBatch
 	ns := pt.data.Len()
-	lossSlot := len(r.flat) - 1
 
 	total := 0.0
 	for bStart := 0; bStart < ns; bStart += B {
 		bn := min(B, ns-bStart)
 		lo, hi := pt.shard(w, bn)
-		if hi <= lo {
-			// Empty shard: contribute zeros to the allreduce.
-			for i := range r.flat {
-				r.flat[i] = 0
-			}
-		} else {
-			nu := pt.data.Batch(bStart+lo, hi-lo, res)
-			nn.ZeroGrads(r.net)
+		if p == 1 {
+			// Whole batch is local: no collectives, no comm goroutine.
+			nu := r.nextBatch(pt.data, bStart+lo, hi-lo, res)
+			r.arena.ZeroGrad()
 			pred := r.net.Forward(nu, true)
 			lossVal, grad := r.loss.Eval(pred, nu)
 			r.net.Backward(grad)
-			weight := float64(hi-lo) / float64(bn)
-			k := 0
-			for _, pr := range r.params {
-				for _, g := range pr.Grad.Data {
-					r.flat[k] = g * weight
-					k++
-				}
-			}
-			r.flat[lossSlot] = lossVal * float64(hi-lo)
+			r.opt.Step()
+			total += lossVal * float64(hi-lo)
+			continue
 		}
-		if err := RingAllReduce(w, pt.Cfg.Workers, r.flat, pt.trs[w]); err != nil {
+		// Every rank derives every peer's shard occupancy from (bn, p), so
+		// contrib is identical across ranks — the precondition of
+		// AllReduceFrom.
+		for q := 0; q < p; q++ {
+			r.contrib[q] = (q+1)*bn/p > q*bn/p
+		}
+		r.weight = float64(hi-lo) / float64(bn)
+		if hi > lo {
+			nu := r.nextBatch(pt.data, bStart+lo, hi-lo, res)
+			r.arena.ZeroGrad()
+			pred := r.net.Forward(nu, true)
+			lossVal, grad := r.loss.Eval(pred, nu)
+			r.lossBuf[0] = lossVal * float64(hi-lo)
+			r.beginBatch()
+			r.net.BackwardWithHook(grad, r.hook)
+			r.flushBuckets()
+		} else {
+			r.lossBuf[0] = 0
+			r.beginBatch()
+			r.enqueueAll()
+		}
+		if err := <-r.done; err != nil {
 			return 0, err
 		}
-		k := 0
-		for _, pr := range r.params {
-			for j := range pr.Grad.Data {
-				pr.Grad.Data[j] = r.flat[k]
-				k++
-			}
-		}
 		r.opt.Step()
-		total += r.flat[lossSlot]
+		total += r.lossBuf[0]
 	}
 	return total / float64(ns), nil
 }
 
 // evalEpoch is the forward-only counterpart of runEpoch: every worker
-// evaluates its shard of each batch and a 1-element allreduce assembles
-// the per-sample mean loss without touching gradients or weights.
+// evaluates its shard of each batch and a 1-element allreduce through the
+// persistent communicator (and the replica's persistent loss buffer —
+// nothing is allocated per batch) assembles the per-sample mean loss
+// without touching gradients or weights.
 func (pt *ParallelTrainer) evalEpoch(w, res int) (float64, error) {
 	r := pt.reps[w]
 	B := pt.Cfg.GlobalBatch
 	ns := pt.data.Len()
-	buf := make([]float64, 1)
 
 	total := 0.0
 	for bStart := 0; bStart < ns; bStart += B {
 		bn := min(B, ns-bStart)
 		lo, hi := pt.shard(w, bn)
-		buf[0] = 0
+		r.lossBuf[0] = 0
 		if hi > lo {
-			nu := pt.data.Batch(bStart+lo, hi-lo, res)
+			nu := r.nextBatch(pt.data, bStart+lo, hi-lo, res)
 			pred := r.net.Forward(nu, false)
 			lossVal, _ := r.loss.Eval(pred, nu)
-			buf[0] = lossVal * float64(hi-lo)
+			r.lossBuf[0] = lossVal * float64(hi-lo)
 		}
-		if err := RingAllReduce(w, pt.Cfg.Workers, buf, pt.trs[w]); err != nil {
+		if err := r.comm.AllReduce(r.lossBuf); err != nil {
 			return 0, err
 		}
-		total += buf[0]
+		total += r.lossBuf[0]
 	}
 	return total / float64(ns), nil
 }
@@ -358,9 +555,12 @@ func (pt *ParallelTrainer) TimeEpoch(res int) (time.Duration, float64, error) {
 func (pt *ParallelTrainer) Adapt() error {
 	for _, r := range pt.reps {
 		fresh := r.net.Adapt()
+		r.arena.Extend(fresh)
 		r.opt.ExtendParams(fresh)
 		r.params = append(r.params, fresh...)
-		r.flat = make([]float64, flatLen(r.params)+1)
+		if err := r.replan(pt.Cfg.BucketElems); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -383,8 +583,8 @@ func (pt *ParallelTrainer) ExportState() ([]byte, nn.AdamState, error) {
 }
 
 // ImportState restores every replica from the same snapshot, rebuilding
-// networks, optimizers and allreduce buffers. All replicas decode the same
-// bytes, so they come back bit-identical. It must not be called
+// networks, optimizers, arenas and bucket plans. All replicas decode the
+// same bytes, so they come back bit-identical. It must not be called
 // concurrently with an epoch.
 func (pt *ParallelTrainer) ImportState(netBytes []byte, opt nn.AdamState) error {
 	for _, r := range pt.reps {
@@ -392,13 +592,17 @@ func (pt *ParallelTrainer) ImportState(netBytes []byte, opt nn.AdamState) error 
 		if err != nil {
 			return err
 		}
+		u.SetBufferReuse(true)
 		params := u.Params()
+		arena := nn.NewArena(params)
 		o, err := nn.NewAdamFromState(params, pt.Cfg.LR, opt)
 		if err != nil {
 			return err
 		}
-		r.net, r.opt, r.params = u, o, params
-		r.flat = make([]float64, flatLen(params)+1)
+		r.net, r.opt, r.params, r.arena = u, o, params, arena
+		if err := r.replan(pt.Cfg.BucketElems); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -433,12 +637,15 @@ func (pt *ParallelTrainer) Params() []*nn.Param { return pt.reps[0].params }
 // Net returns replica 0's network.
 func (pt *ParallelTrainer) Net() *unet.UNet { return pt.reps[0].net }
 
-// Close shuts down the worker goroutines. The trainer must not be used
-// after Close; Close is idempotent.
+// Close shuts down the worker and communication goroutines. The trainer
+// must not be used after Close; Close is idempotent.
 func (pt *ParallelTrainer) Close() {
 	pt.closeOnce.Do(func() {
 		for _, c := range pt.cmds {
 			close(c)
+		}
+		for _, r := range pt.reps {
+			r.stopComm()
 		}
 	})
 }

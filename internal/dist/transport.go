@@ -1,9 +1,6 @@
 package dist
 
-import (
-	"fmt"
-	"sync"
-)
+import "fmt"
 
 // Transport is one endpoint of a p-way communicator. Rank r's endpoint can
 // exchange float64 buffers with any other rank; implementations must allow
@@ -35,13 +32,17 @@ const linkDepth = 4
 // channelTransport is the in-process Transport: a full mesh of buffered
 // channels shared by the p endpoints returned from NewChannelRing. It is
 // the goroutine analogue of an MPI communicator; Send copies through a
-// shared buffer pool so transfers cost one memcpy per hop, like a real
-// interconnect, without per-message allocation in steady state.
+// shared recycling channel of message buffers so transfers cost one memcpy
+// per hop, like a real interconnect, with zero per-message allocation in
+// steady state. (A sync.Pool is the obvious choice but costs one heap
+// allocation per Put — the *[]float64 box — which at 4(p−1) messages per
+// collective was a measurable share of the epoch's allocations; a buffered
+// channel recycles slices without boxing.)
 type channelTransport struct {
 	rank  int
 	p     int
 	links [][]chan []float64 // links[from][to], nil on the diagonal
-	pool  *sync.Pool
+	free  chan []float64     // recycled message buffers, shared by the mesh
 }
 
 // NewChannelRing builds a p-way in-process communicator and returns one
@@ -61,10 +62,12 @@ func NewChannelRing(p int) []Transport {
 			}
 		}
 	}
-	pool := &sync.Pool{}
+	// Capacity for every link's in-flight depth plus slack, so Put never
+	// blocks and drops are rare.
+	free := make(chan []float64, p*p*(linkDepth+1))
 	out := make([]Transport, p)
 	for r := range out {
-		out[r] = &channelTransport{rank: r, p: p, links: links, pool: pool}
+		out[r] = &channelTransport{rank: r, p: p, links: links, free: free}
 	}
 	return out
 }
@@ -85,17 +88,29 @@ func (t *channelTransport) checkPeer(peer int) error {
 	return nil
 }
 
+// getBuf fetches a recycled buffer of capacity >= n, allocating only when
+// the free list is empty or its head is too small. An undersized buffer is
+// dropped, not put back: keeping it would make every future large Send
+// that pops it allocate again, whereas dropping lets the pool converge to
+// uniformly message-sized buffers (small messages happily reuse large
+// ones, so after warm-up steady state allocates nothing).
+func (t *channelTransport) getBuf(n int) []float64 {
+	select {
+	case b := <-t.free:
+		if cap(b) >= n {
+			return b[:n]
+		}
+	default:
+	}
+	return make([]float64, n)
+}
+
 // Send implements Transport.
 func (t *channelTransport) Send(to int, buf []float64) error {
 	if err := t.checkPeer(to); err != nil {
 		return err
 	}
-	var msg []float64
-	if v, ok := t.pool.Get().(*[]float64); ok && cap(*v) >= len(buf) {
-		msg = (*v)[:len(buf)]
-	} else {
-		msg = make([]float64, len(buf))
-	}
+	msg := t.getBuf(len(buf))
 	copy(msg, buf)
 	t.links[t.rank][to] <- msg
 	return nil
@@ -112,6 +127,9 @@ func (t *channelTransport) Recv(from int, buf []float64) error {
 			t.rank, len(buf), from, len(msg))
 	}
 	copy(buf, msg)
-	t.pool.Put(&msg)
+	select {
+	case t.free <- msg:
+	default: // free list full: let the buffer go
+	}
 	return nil
 }

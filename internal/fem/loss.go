@@ -31,6 +31,50 @@ type EnergyLoss struct {
 	mu  sync.Mutex
 	p2d map[int]*Problem2D
 	p3d map[int]*Problem3D
+
+	// Scratch reuse (SetScratchReuse): Eval recycles its gradient output
+	// and per-sample BC-imposed field instead of allocating fresh tensors
+	// every batch. Guarded by the opt-in because the returned gradient is
+	// then overwritten by the next Eval, and because the scratch makes Eval
+	// single-flight: enable it only on a privately owned loss whose caller
+	// consumes the gradient within the step, as each dist replica does.
+	reuse    bool
+	gradBuf  *tensor.Tensor
+	fieldBuf *tensor.Tensor
+	// Per-sample window tensors, re-pointed at each sample's slice with
+	// Rebase instead of building fresh FromSlice views every iteration.
+	viewPred, viewNu, viewGrad *tensor.Tensor
+}
+
+// SetScratchReuse toggles Eval scratch recycling; see the field comment
+// for the ownership contract. WithBC is unaffected and always returns a
+// fresh tensor.
+func (l *EnergyLoss) SetScratchReuse(on bool) {
+	l.reuse = on
+	if !on {
+		l.gradBuf, l.fieldBuf = nil, nil
+		l.viewPred, l.viewNu, l.viewGrad = nil, nil, nil
+	}
+}
+
+// sampleViews returns the three per-sample window tensors over the given
+// slices, recycling the cached views when reuse is on and the sample shape
+// is unchanged.
+func (l *EnergyLoss) sampleViews(pred, nu, grad []float64, res int) (p, n, g *tensor.Tensor) {
+	shape := spatialShape(l.Dim, res)
+	if l.reuse && l.viewPred != nil && len(l.viewPred.Data) == len(pred) {
+		l.viewPred.Rebase(pred)
+		l.viewNu.Rebase(nu)
+		l.viewGrad.Rebase(grad)
+		return l.viewPred, l.viewNu, l.viewGrad
+	}
+	p = tensor.FromSlice(pred, shape...)
+	n = tensor.FromSlice(nu, shape...)
+	g = tensor.FromSlice(grad, shape...)
+	if l.reuse {
+		l.viewPred, l.viewNu, l.viewGrad = p, n, g
+	}
+	return p, n, g
 }
 
 // NewEnergyLoss builds an EnergyLoss for the given dimensionality.
@@ -77,16 +121,33 @@ func (l *EnergyLoss) Eval(pred, nu *tensor.Tensor) (float64, *tensor.Tensor) {
 	n := pred.Dim(0)
 	res := pred.Dim(2)
 	per := pred.Len() / n
-	grad := tensor.New(pred.Shape()...)
+	var grad *tensor.Tensor
+	if l.reuse && l.gradBuf != nil && l.gradBuf.SameShape(pred) {
+		grad = l.gradBuf
+		grad.Zero() // AddEnergyGrad accumulates into it
+	} else {
+		grad = tensor.New(pred.Shape()...)
+		if l.reuse {
+			l.gradBuf = grad
+		}
+	}
 	total := 0.0
 	invN := 1.0 / float64(n)
 
 	for s := 0; s < n; s++ {
-		predS := tensor.FromSlice(pred.Data[s*per:(s+1)*per], spatialShape(l.Dim, res)...)
-		nuS := tensor.FromSlice(nu.Data[s*per:(s+1)*per], spatialShape(l.Dim, res)...)
-		gradS := tensor.FromSlice(grad.Data[s*per:(s+1)*per], spatialShape(l.Dim, res)...)
+		predS, nuS, gradS := l.sampleViews(
+			pred.Data[s*per:(s+1)*per], nu.Data[s*per:(s+1)*per], grad.Data[s*per:(s+1)*per], res)
 
-		u := predS.Clone()
+		var u *tensor.Tensor
+		if l.reuse && l.fieldBuf != nil && l.fieldBuf.SameShape(predS) {
+			u = l.fieldBuf
+			u.CopyFrom(predS)
+		} else {
+			u = predS.Clone()
+			if l.reuse {
+				l.fieldBuf = u
+			}
+		}
 		if l.Dim == 2 {
 			p := l.Problem2DAt(res)
 			p.ApplyBC(u)

@@ -67,15 +67,25 @@ func Raster2D(omega Omega, res int) *tensor.Tensor {
 		panic(fmt.Sprintf("field: Raster2D needs res >= 2, got %d", res))
 	}
 	out := tensor.New(res, res)
+	Raster2DInto(out.Data, omega, res)
+	return out
+}
+
+// Raster2DInto rasterizes like Raster2D directly into dst (row-major
+// [y][x], length res²), letting batch builders fill slices of a reused
+// tensor without intermediate copies.
+func Raster2DInto(dst []float64, omega Omega, res int) {
+	if len(dst) != res*res {
+		panic(fmt.Sprintf("field: Raster2DInto needs %d elements, got %d", res*res, len(dst)))
+	}
 	h := 1.0 / float64(res-1)
 	tensor.ParallelFor(res, func(iy int) {
 		y := float64(iy) * h
 		row := iy * res
 		for ix := 0; ix < res; ix++ {
-			out.Data[row+ix] = Eval2D(omega, float64(ix)*h, y)
+			dst[row+ix] = Eval2D(omega, float64(ix)*h, y)
 		}
 	})
-	return out
 }
 
 // Raster3D evaluates the diffusivity on an res³ nodal grid over [0,1]³ and
@@ -85,6 +95,16 @@ func Raster3D(omega Omega, res int) *tensor.Tensor {
 		panic(fmt.Sprintf("field: Raster3D needs res >= 2, got %d", res))
 	}
 	out := tensor.New(res, res, res)
+	Raster3DInto(out.Data, omega, res)
+	return out
+}
+
+// Raster3DInto rasterizes like Raster3D directly into dst (row-major
+// [z][y][x], length res³).
+func Raster3DInto(dst []float64, omega Omega, res int) {
+	if len(dst) != res*res*res {
+		panic(fmt.Sprintf("field: Raster3DInto needs %d elements, got %d", res*res*res, len(dst)))
+	}
 	h := 1.0 / float64(res-1)
 	tensor.ParallelFor(res, func(iz int) {
 		z := float64(iz) * h
@@ -92,11 +112,10 @@ func Raster3D(omega Omega, res int) *tensor.Tensor {
 			y := float64(iy) * h
 			row := (iz*res + iy) * res
 			for ix := 0; ix < res; ix++ {
-				out.Data[row+ix] = Eval3D(omega, float64(ix)*h, y, z)
+				dst[row+ix] = Eval3D(omega, float64(ix)*h, y, z)
 			}
 		}
 	})
-	return out
 }
 
 // SampleOmegas draws n parameter vectors from [-3,3]^4 with the Sobol
@@ -141,24 +160,36 @@ func (d *Dataset) Len() int { return len(d.Omegas) }
 // implements the paper's dataset augmentation that makes the sample count
 // divisible by the worker count.
 func (d *Dataset) Batch(start, count, res int) *tensor.Tensor {
-	var out *tensor.Tensor
+	return d.BatchInto(nil, start, count, res)
+}
+
+// BatchInto is Batch rasterizing into dst when dst already has the batch
+// shape; a nil or mismatched dst is replaced by a fresh tensor, and the
+// used tensor is returned. Reusing the destination across mini-batches —
+// as the dist training loop does per replica — makes the steady-state
+// batch build allocation-free, and the samples are rasterized in place
+// rather than copied through per-sample temporaries.
+func (d *Dataset) BatchInto(dst *tensor.Tensor, start, count, res int) *tensor.Tensor {
+	var shape []int
 	var per int
 	if d.Dim == 2 {
-		out = tensor.New(count, 1, res, res)
+		shape = []int{count, 1, res, res}
 		per = res * res
 	} else {
-		out = tensor.New(count, 1, res, res, res)
+		shape = []int{count, 1, res, res, res}
 		per = res * res * res
+	}
+	out := dst
+	if out == nil || !out.ShapeIs(shape...) {
+		out = tensor.New(shape...)
 	}
 	for k := 0; k < count; k++ {
 		w := d.Omegas[(start+k)%len(d.Omegas)]
-		var f *tensor.Tensor
 		if d.Dim == 2 {
-			f = Raster2D(w, res)
+			Raster2DInto(out.Data[k*per:(k+1)*per], w, res)
 		} else {
-			f = Raster3D(w, res)
+			Raster3DInto(out.Data[k*per:(k+1)*per], w, res)
 		}
-		copy(out.Data[k*per:(k+1)*per], f.Data)
 	}
 	return out
 }

@@ -247,3 +247,27 @@ func TestDiffusivityVariesWithOmega(t *testing.T) {
 		t.Fatal("different omegas must give different fields")
 	}
 }
+
+// BatchInto must produce bit-identical batches to Batch while reusing the
+// destination tensor, reallocating only when the requested shape changes.
+func TestBatchIntoMatchesBatchAndReuses(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		d := NewDataset(6, dim)
+		want := d.Batch(1, 3, 8)
+		dst := d.BatchInto(nil, 1, 3, 8)
+		if !dst.SameShape(want) || dst.RMSE(want) != 0 {
+			t.Fatalf("dim=%d: BatchInto differs from Batch", dim)
+		}
+		again := d.BatchInto(dst, 4, 3, 8) // wraps around the dataset
+		if again != dst {
+			t.Fatalf("dim=%d: matching-shape destination was not reused", dim)
+		}
+		if again.RMSE(d.Batch(4, 3, 8)) != 0 {
+			t.Fatalf("dim=%d: reused batch content wrong", dim)
+		}
+		grown := d.BatchInto(dst, 0, 2, 8)
+		if grown == dst {
+			t.Fatalf("dim=%d: shape change must reallocate", dim)
+		}
+	}
+}

@@ -11,17 +11,21 @@ import (
 type LeakyReLU struct {
 	Alpha float64
 	in    *tensor.Tensor
+
+	fwd, bwd outBuf
 }
 
 // NewLeakyReLU returns a LeakyReLU with the given negative slope.
 func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
+
+func (l *LeakyReLU) setBufferReuse(on bool) { l.fwd.on, l.bwd.on = on, on }
 
 // Forward implements Layer.
 func (l *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		l.in = x
 	}
-	out := tensor.New(x.Shape()...)
+	out := l.fwd.get(x.Shape()...)
 	a := l.Alpha
 	tensor.ParallelRange(x.Len(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -37,7 +41,7 @@ func (l *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (l *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(grad.Shape()...)
+	out := l.bwd.get(grad.Shape()...)
 	a := l.Alpha
 	in := l.in
 	tensor.ParallelRange(grad.Len(), func(lo, hi int) {
@@ -59,14 +63,18 @@ func (l *LeakyReLU) Params() []*Param { return nil }
 // predicted solution field lies in (0, 1), matching the Dirichlet data.
 type Sigmoid struct {
 	out *tensor.Tensor
+
+	fwd, bwd outBuf
 }
 
 // NewSigmoid returns a Sigmoid layer.
 func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
+func (s *Sigmoid) setBufferReuse(on bool) { s.fwd.on, s.bwd.on = on, on }
+
 // Forward implements Layer.
 func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
+	out := s.fwd.get(x.Shape()...)
 	tensor.ParallelRange(x.Len(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out.Data[i] = 1.0 / (1.0 + math.Exp(-x.Data[i]))
@@ -80,7 +88,7 @@ func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(grad.Shape()...)
+	out := s.bwd.get(grad.Shape()...)
 	y := s.out
 	tensor.ParallelRange(grad.Len(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -98,14 +106,18 @@ func (s *Sigmoid) Params() []*Param { return nil }
 // ablations; the paper uses LeakyReLU + Sigmoid).
 type Tanh struct {
 	out *tensor.Tensor
+
+	fwd, bwd outBuf
 }
 
 // NewTanh returns a Tanh layer.
 func NewTanh() *Tanh { return &Tanh{} }
 
+func (t *Tanh) setBufferReuse(on bool) { t.fwd.on, t.bwd.on = on, on }
+
 // Forward implements Layer.
 func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
+	out := t.fwd.get(x.Shape()...)
 	tensor.ParallelRange(x.Len(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out.Data[i] = math.Tanh(x.Data[i])
@@ -119,7 +131,7 @@ func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(grad.Shape()...)
+	out := t.bwd.get(grad.Shape()...)
 	y := t.out
 	tensor.ParallelRange(grad.Len(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {

@@ -10,6 +10,14 @@ import (
 // tensors must agree on every other dimension. It is the skip-connection
 // merge of the U-Net decoder.
 func ConcatChannels(a, b *tensor.Tensor) *tensor.Tensor {
+	return ConcatChannelsInto(nil, a, b)
+}
+
+// ConcatChannelsInto is ConcatChannels writing into dst when dst already
+// has the concatenated shape; a nil or mismatched dst is replaced by a
+// fresh tensor. Callers that keep dst across invocations (unet's decoder)
+// turn the skip-connection merge into a pure copy with no allocation.
+func ConcatChannelsInto(dst, a, b *tensor.Tensor) *tensor.Tensor {
 	if a.Rank() != b.Rank() {
 		panic("nn: ConcatChannels rank mismatch")
 	}
@@ -25,9 +33,12 @@ func ConcatChannels(a, b *tensor.Tensor) *tensor.Tensor {
 	ca, cb := a.Dim(1), b.Dim(1)
 	spatial := a.Len() / (n * ca)
 
-	shape := append([]int(nil), a.Shape()...)
-	shape[1] = ca + cb
-	out := tensor.New(shape...)
+	out := dst
+	if !shapeMatchesWithChannels(out, a, ca+cb) {
+		shape := append([]int(nil), a.Shape()...)
+		shape[1] = ca + cb
+		out = tensor.New(shape...)
+	}
 	for bn := 0; bn < n; bn++ {
 		dstA := out.Data[bn*(ca+cb)*spatial : (bn*(ca+cb)+ca)*spatial]
 		srcA := a.Data[bn*ca*spatial : (bn+1)*ca*spatial]
@@ -42,17 +53,29 @@ func ConcatChannels(a, b *tensor.Tensor) *tensor.Tensor {
 // SplitChannels is the adjoint of ConcatChannels: it splits grad into the
 // gradients for the first ca channels and the remaining cb channels.
 func SplitChannels(grad *tensor.Tensor, ca, cb int) (ga, gb *tensor.Tensor) {
+	return SplitChannelsInto(nil, nil, grad, ca, cb)
+}
+
+// SplitChannelsInto is SplitChannels writing into dstA/dstB when they
+// already have the split shapes; nil or mismatched destinations are
+// replaced by fresh tensors.
+func SplitChannelsInto(dstA, dstB, grad *tensor.Tensor, ca, cb int) (ga, gb *tensor.Tensor) {
 	n := grad.Dim(0)
 	if grad.Dim(1) != ca+cb {
 		panic(fmt.Sprintf("nn: SplitChannels expects %d channels, got %d", ca+cb, grad.Dim(1)))
 	}
 	spatial := grad.Len() / (n * (ca + cb))
-	shapeA := append([]int(nil), grad.Shape()...)
-	shapeA[1] = ca
-	shapeB := append([]int(nil), grad.Shape()...)
-	shapeB[1] = cb
-	ga = tensor.New(shapeA...)
-	gb = tensor.New(shapeB...)
+	ga, gb = dstA, dstB
+	if !shapeMatchesWithChannels(ga, grad, ca) {
+		shapeA := append([]int(nil), grad.Shape()...)
+		shapeA[1] = ca
+		ga = tensor.New(shapeA...)
+	}
+	if !shapeMatchesWithChannels(gb, grad, cb) {
+		shapeB := append([]int(nil), grad.Shape()...)
+		shapeB[1] = cb
+		gb = tensor.New(shapeB...)
+	}
 	for bn := 0; bn < n; bn++ {
 		copy(ga.Data[bn*ca*spatial:(bn+1)*ca*spatial],
 			grad.Data[bn*(ca+cb)*spatial:(bn*(ca+cb)+ca)*spatial])
@@ -60,4 +83,19 @@ func SplitChannels(grad *tensor.Tensor, ca, cb int) (ga, gb *tensor.Tensor) {
 			grad.Data[(bn*(ca+cb)+ca)*spatial:(bn+1)*(ca+cb)*spatial])
 	}
 	return ga, gb
+}
+
+// shapeMatchesWithChannels reports whether t has ref's shape with the
+// channel dimension replaced by ch — without materializing the target
+// shape, so reuse hits stay allocation-free.
+func shapeMatchesWithChannels(t, ref *tensor.Tensor, ch int) bool {
+	if t == nil || t.Rank() != ref.Rank() || t.Dim(1) != ch {
+		return false
+	}
+	for i := 0; i < ref.Rank(); i++ {
+		if i != 1 && t.Dim(i) != ref.Dim(i) {
+			return false
+		}
+	}
+	return true
 }

@@ -19,8 +19,11 @@ type Conv2D struct {
 	W *Param
 	B *Param
 
-	in *tensor.Tensor
+	in       *tensor.Tensor
+	fwd, bwd outBuf
 }
+
+func (c *Conv2D) setBufferReuse(on bool) { c.fwd.on, c.bwd.on = on, on }
 
 // NewConv2D builds a 2D convolution with square kernels and He
 // initialization appropriate for LeakyReLU networks.
@@ -67,7 +70,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		c.in = x
 	}
-	out := tensor.New(n, c.OutChannels, ho, wo)
+	out := c.fwd.get(n, c.OutChannels, ho, wo)
 	k, s, p := c.Kernel, c.Stride, c.Pad
 	wd, xd, od, bd := c.W.Data.Data, x.Data, out.Data, c.B.Data.Data
 
@@ -163,7 +166,7 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	})
 
 	// Input gradient: gather formulation, parallel over (n, ci).
-	gin := tensor.New(n, ci, h, w)
+	gin := c.bwd.get(n, ci, h, w)
 	gi := gin.Data
 	tensor.ParallelFor(n*ci, func(job int) {
 		bn := job / ci
@@ -220,8 +223,11 @@ type ConvTranspose2D struct {
 	W *Param
 	B *Param
 
-	in *tensor.Tensor
+	in       *tensor.Tensor
+	fwd, bwd outBuf
 }
+
+func (c *ConvTranspose2D) setBufferReuse(on bool) { c.fwd.on, c.bwd.on = on, on }
 
 // NewConvTranspose2D builds a 2D transpose convolution with He init.
 func NewConvTranspose2D(rng interface{ NormFloat64() float64 }, name string, inCh, outCh, kernel, stride, pad int) *ConvTranspose2D {
@@ -252,7 +258,7 @@ func (c *ConvTranspose2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		c.in = x
 	}
-	out := tensor.New(n, c.OutChannels, ho, wo)
+	out := c.fwd.get(n, c.OutChannels, ho, wo)
 	k, s, p := c.Kernel, c.Stride, c.Pad
 	co := c.OutChannels
 	wd, xd, od, bd := c.W.Data.Data, x.Data, out.Data, c.B.Data.Data
@@ -352,7 +358,7 @@ func (c *ConvTranspose2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	})
 
 	// Input gradient: a plain strided correlation of grad with W.
-	gin := tensor.New(n, ci, h, w)
+	gin := c.bwd.get(n, ci, h, w)
 	gi := gin.Data
 	tensor.ParallelFor(n*ci, func(job int) {
 		bn := job / ci

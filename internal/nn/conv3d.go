@@ -59,7 +59,10 @@ type Conv3D struct {
 	in *tensor.Tensor
 	// GEMM-lowering scratch, reused across passes (see im2colSlab).
 	colsBuf, prodBuf, gradColsBuf *tensor.Tensor
+	fwd, bwd, gwBuf               outBuf
 }
+
+func (c *Conv3D) setBufferReuse(on bool) { c.fwd.on, c.bwd.on, c.gwBuf.on = on, on, on }
 
 // scratch returns a [rows, cols] tensor backed by *buf, growing the
 // backing allocation only when the request exceeds it (the short final
@@ -131,7 +134,7 @@ func (c *Conv3D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if c.useGEMM(do, ho, wo) {
 		return Conv3DGEMM(c, x)
 	}
-	out := tensor.New(n, c.OutChannels, do, ho, wo)
+	out := c.fwd.get(n, c.OutChannels, do, ho, wo)
 	k, s, p := c.Kernel, c.Stride, c.Pad
 	co := c.OutChannels
 	wd, xd, od, bd := c.W.Data.Data, x.Data, out.Data, c.B.Data.Data
@@ -243,7 +246,7 @@ func (c *Conv3D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	})
 
-	gin := tensor.New(n, ci, d, h, w)
+	gin := c.bwd.get(n, ci, d, h, w)
 	gi := gin.Data
 	tensor.ParallelFor(n*ci, func(job int) {
 		bn := job / ci
@@ -311,8 +314,11 @@ type ConvTranspose3D struct {
 	W *Param
 	B *Param
 
-	in *tensor.Tensor
+	in       *tensor.Tensor
+	fwd, bwd outBuf
 }
+
+func (c *ConvTranspose3D) setBufferReuse(on bool) { c.fwd.on, c.bwd.on = on, on }
 
 // NewConvTranspose3D builds a cubic-kernel 3D transpose convolution.
 func NewConvTranspose3D(rng interface{ NormFloat64() float64 }, name string, inCh, outCh, kernel, stride, pad int) *ConvTranspose3D {
@@ -343,7 +349,7 @@ func (c *ConvTranspose3D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		c.in = x
 	}
-	out := tensor.New(n, c.OutChannels, do, ho, wo)
+	out := c.fwd.get(n, c.OutChannels, do, ho, wo)
 	k, s, p := c.Kernel, c.Stride, c.Pad
 	co := c.OutChannels
 	wd, xd, od, bd := c.W.Data.Data, x.Data, out.Data, c.B.Data.Data
@@ -459,7 +465,7 @@ func (c *ConvTranspose3D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	})
 
-	gin := tensor.New(n, ci, d, h, w)
+	gin := c.bwd.get(n, ci, d, h, w)
 	gi := gin.Data
 	tensor.ParallelFor(n*ci, func(job int) {
 		bn := job / ci

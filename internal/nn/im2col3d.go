@@ -197,7 +197,7 @@ func Conv3DGEMM(c *Conv3D, x *tensor.Tensor) *tensor.Tensor {
 	dz := conv3dSlabDepth(ciK3, n, do, ho, wo)
 
 	wMat := c.W.Data.Reshape(co, ciK3)
-	out := tensor.New(n, co, do, ho, wo)
+	out := c.fwd.get(n, co, do, ho, wo)
 	od, bd := out.Data, c.B.Data.Data
 
 	for z0 := 0; z0 < do; z0 += dz {
@@ -241,9 +241,9 @@ func Conv3DGEMMBackward(c *Conv3D, x, gradOut *tensor.Tensor) *tensor.Tensor {
 	dz := conv3dSlabDepth(ciK3, n, do, ho, wo)
 
 	wMat := c.W.Data.Reshape(co, ciK3)
-	gw := tensor.New(co, ciK3)
+	gw := c.gwBuf.getZero(co, ciK3) // accumulates across slabs, then adds into W.Grad
 	gb := c.B.Grad.Data
-	gin := tensor.New(n, ci, d, h, w)
+	gin := c.bwd.getZero(n, ci, d, h, w) // col2imSlab scatter-adds into it
 	gd := gradOut.Data
 
 	for z0 := 0; z0 < do; z0 += dz {

@@ -23,6 +23,12 @@ type Param struct {
 	Name string
 	Data *tensor.Tensor
 	Grad *tensor.Tensor
+
+	// arena/arenaIdx back-reference the Arena (if any) whose slabs back
+	// Data and Grad; Adam uses them to detect when the whole parameter set
+	// is one contiguous run and switch to the fused flat step.
+	arena    *Arena
+	arenaIdx int
 }
 
 // NewParam allocates a parameter and its zeroed gradient with the same shape.

@@ -3,6 +3,8 @@ package nn
 import (
 	"fmt"
 	"math"
+
+	"mgdiffnet/internal/tensor"
 )
 
 // Optimizer updates parameters from their accumulated gradients.
@@ -64,8 +66,14 @@ type Adam struct {
 	Epsilon float64
 
 	params []*Param
-	m, v   [][]float64
-	t      int
+	// m and v are per-parameter views into mbuf/vbuf, which hold the first
+	// and second moments as contiguous slabs mirroring the parameter
+	// layout. The views keep ExportStateFor and the per-parameter fallback
+	// unchanged while letting the fused step sweep whole flat runs.
+	m, v       [][]float64
+	mbuf, vbuf []float64
+	off        []int // len(params)+1 cumulative element offsets
+	t          int
 	// t0 is the per-parameter step offset: the optimizer's step count at
 	// the moment the parameter was registered. Parameters present from
 	// construction have offset 0; parameters added mid-training by
@@ -83,22 +91,73 @@ func NewAdam(params []*Param, lr float64) *Adam {
 		Epsilon: 1e-8,
 		params:  params,
 	}
-	a.m = make([][]float64, len(params))
-	a.v = make([][]float64, len(params))
 	a.t0 = make([]int, len(params))
-	for i, p := range params {
-		a.m[i] = make([]float64, p.Data.Len())
-		a.v[i] = make([]float64, p.Data.Len())
-	}
+	a.reslab()
 	return a
+}
+
+// reslab (re)allocates the flat moment slabs for the current parameter
+// list, copying any existing moments into the grown slabs, and refreshes
+// the per-parameter views.
+func (a *Adam) reslab() {
+	off := make([]int, len(a.params)+1)
+	for i, p := range a.params {
+		off[i+1] = off[i] + p.Data.Len()
+	}
+	n := off[len(a.params)]
+	mbuf := make([]float64, n)
+	vbuf := make([]float64, n)
+	copy(mbuf, a.mbuf) // existing parameters keep their prefix offsets
+	copy(vbuf, a.vbuf)
+	m := make([][]float64, len(a.params))
+	v := make([][]float64, len(a.params))
+	for i := range a.params {
+		lo, hi := off[i], off[i+1]
+		m[i] = mbuf[lo:hi:hi]
+		v[i] = vbuf[lo:hi:hi]
+	}
+	a.m, a.v, a.mbuf, a.vbuf, a.off = m, v, mbuf, vbuf, off
+}
+
+// flatArena reports the Arena to use for the fused step: non-nil exactly
+// when the managed parameters are the arena's parameters, in order, so
+// that the arena's Data/Grad slabs align element-for-element with
+// mbuf/vbuf. The check is O(#parameters) per Step — noise next to the
+// O(#elements) update — and is re-evaluated every call because arenas are
+// rebuilt (reallocated) by Extend.
+func (a *Adam) flatArena() *Arena {
+	if len(a.params) == 0 {
+		return nil
+	}
+	ar := a.params[0].arena
+	if ar == nil || len(ar.params) != len(a.params) {
+		return nil
+	}
+	for i, p := range a.params {
+		if p.arena != ar || p.arenaIdx != i {
+			return nil
+		}
+	}
+	return ar
 }
 
 // Step implements Optimizer. Bias corrections use each parameter's own age
 // t − t0 rather than the shared step counter: correcting the zero moments
 // of a parameter registered at step t0 with the global count would make
 // 1−β^t ≈ 1 and silently scale its first update by ~(1−β₁) instead of 1.
+//
+// When the parameters are arena-backed (nn.Arena) the update runs as a
+// fused sweep over the contiguous data/grad/moment slabs, partitioned into
+// parallel chunks by tensor.ParallelRange. The arithmetic per element is
+// identical to the per-parameter loop — the update is pointwise, so chunk
+// boundaries cannot change results — making the fused path bit-exact with
+// the fallback.
 func (a *Adam) Step() {
 	a.t++
+	if ar := a.flatArena(); ar != nil {
+		a.stepFlat(ar)
+		return
+	}
 	for i, p := range a.params {
 		tEff := float64(a.t - a.t0[i])
 		c1 := 1 - math.Pow(a.Beta1, tEff)
@@ -115,6 +174,36 @@ func (a *Adam) Step() {
 	}
 }
 
+// stepFlat is the fused arena sweep: maximal runs of parameters sharing a
+// bias-correction age are updated as single contiguous ranges.
+func (a *Adam) stepFlat(ar *Arena) {
+	data, grad := ar.data, ar.grad
+	for s := 0; s < len(a.params); {
+		e := s + 1
+		for e < len(a.params) && a.t0[e] == a.t0[s] {
+			e++
+		}
+		tEff := float64(a.t - a.t0[s])
+		c1 := 1 - math.Pow(a.Beta1, tEff)
+		c2 := 1 - math.Pow(a.Beta2, tEff)
+		lo, hi := a.off[s], a.off[e]
+		d, g := data[lo:hi], grad[lo:hi]
+		m, v := a.mbuf[lo:hi], a.vbuf[lo:hi]
+		b1, b2, lr, eps := a.Beta1, a.Beta2, a.LR, a.Epsilon
+		tensor.ParallelRange(hi-lo, func(jlo, jhi int) {
+			for j := jlo; j < jhi; j++ {
+				gj := g[j]
+				m[j] = b1*m[j] + (1-b1)*gj
+				v[j] = b2*v[j] + (1-b2)*gj*gj
+				mHat := m[j] / c1
+				vHat := v[j] / c2
+				d[j] -= lr * mHat / (math.Sqrt(vHat) + eps)
+			}
+		})
+		s = e
+	}
+}
+
 // Params implements Optimizer.
 func (a *Adam) Params() []*Param { return a.params }
 
@@ -126,10 +215,9 @@ func (a *Adam) Params() []*Param { return a.params }
 func (a *Adam) ExtendParams(newParams []*Param) {
 	for _, p := range newParams {
 		a.params = append(a.params, p)
-		a.m = append(a.m, make([]float64, p.Data.Len()))
-		a.v = append(a.v, make([]float64, p.Data.Len()))
 		a.t0 = append(a.t0, a.t)
 	}
+	a.reslab()
 }
 
 // AdamState is the optimizer's full training state for a chosen parameter

@@ -14,10 +14,23 @@ type MaxPool struct {
 	argmax []int32
 	inLen  int
 	inShp  []int
+
+	fwd, bwd outBuf
 }
 
 // NewMaxPool builds a max-pooling layer with window and stride k.
 func NewMaxPool(k int) *MaxPool { return &MaxPool{K: k} }
+
+func (m *MaxPool) setBufferReuse(on bool) { m.fwd.on, m.bwd.on = on, on }
+
+// argBuf returns the argmax scratch resized to n. The slice is private to
+// the layer (never escapes), so it is recycled unconditionally.
+func (m *MaxPool) argBuf(n int) []int32 {
+	if cap(m.argmax) < n {
+		m.argmax = make([]int32, n)
+	}
+	return m.argmax[:n]
+}
 
 // Forward implements Layer.
 func (m *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
@@ -35,12 +48,12 @@ func (m *MaxPool) forward2D(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	k := m.K
 	ho, wo := h/k, w/k
-	out := tensor.New(n, c, ho, wo)
+	out := m.fwd.get(n, c, ho, wo)
 	var arg []int32
 	if train {
-		arg = make([]int32, out.Len())
+		arg = m.argBuf(out.Len())
 		m.inLen = x.Len()
-		m.inShp = append([]int(nil), x.Shape()...)
+		m.inShp = append(m.inShp[:0], x.Shape()...)
 	}
 	xd, od := x.Data, out.Data
 	tensor.ParallelFor(n*c, func(job int) {
@@ -67,7 +80,9 @@ func (m *MaxPool) forward2D(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 		}
 	})
-	m.argmax = arg
+	if arg != nil {
+		m.argmax = arg
+	}
 	return out
 }
 
@@ -75,12 +90,12 @@ func (m *MaxPool) forward3D(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, d, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3), x.Dim(4)
 	k := m.K
 	do, ho, wo := d/k, h/k, w/k
-	out := tensor.New(n, c, do, ho, wo)
+	out := m.fwd.get(n, c, do, ho, wo)
 	var arg []int32
 	if train {
-		arg = make([]int32, out.Len())
+		arg = m.argBuf(out.Len())
 		m.inLen = x.Len()
-		m.inShp = append([]int(nil), x.Shape()...)
+		m.inShp = append(m.inShp[:0], x.Shape()...)
 	}
 	xd, od := x.Data, out.Data
 	tensor.ParallelFor(n*c, func(job int) {
@@ -111,15 +126,18 @@ func (m *MaxPool) forward3D(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 		}
 	})
-	m.argmax = arg
+	if arg != nil {
+		m.argmax = arg
+	}
 	return out
 }
 
 // Backward implements Layer: the gradient flows to the argmax positions.
 func (m *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	gin := tensor.New(m.inShp...)
+	gin := m.bwd.getZero(m.inShp...) // scatter-adds below
+	arg := m.argmax[:grad.Len()]
 	for i, g := range grad.Data {
-		gin.Data[m.argmax[i]] += g
+		gin.Data[arg[i]] += g
 	}
 	return gin
 }

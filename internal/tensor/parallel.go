@@ -36,12 +36,45 @@ const parallelThreshold = 256
 // partitioning the range into contiguous blocks. It is the workhorse behind
 // the convolution and FEM kernels: one block per worker keeps memory access
 // streaming and avoids per-iteration channel traffic.
+//
+// The range logic is spelled out rather than delegated to ParallelRange:
+// wrapping body in a range adapter costs one heap closure per call, and at
+// a few ParallelFor calls per layer per batch that adapter was one of the
+// largest allocation sources in the training profile.
 func ParallelFor(n int, body func(i int)) {
-	ParallelRange(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	if n <= 0 {
+		return
+	}
+	workers := int(maxProcs.Load())
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < parallelThreshold {
+		for i := 0; i < n; i++ {
 			body(i)
 		}
-	})
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // ParallelRange partitions [0, n) into contiguous chunks and runs

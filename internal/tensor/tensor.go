@@ -96,6 +96,19 @@ func (t *Tensor) Len() int { return len(t.Data) }
 // Stride returns the row-major stride of dimension i.
 func (t *Tensor) Stride(i int) int { return t.stride[i] }
 
+// ShapeIs reports whether t's shape equals the given dimensions.
+func (t *Tensor) ShapeIs(shape ...int) bool {
+	if len(t.shape) != len(shape) {
+		return false
+	}
+	for i, d := range shape {
+		if t.shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
 // SameShape reports whether t and o have identical shapes.
 func (t *Tensor) SameShape(o *Tensor) bool {
 	if len(t.shape) != len(o.shape) {
@@ -146,6 +159,19 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 		panic(fmt.Sprintf("tensor: cannot reshape volume %d to %v", len(t.Data), shape))
 	}
 	return FromSlice(t.Data, shape...)
+}
+
+// Rebase re-points the tensor at a new backing slice of identical length,
+// keeping shape and strides. It is the primitive behind arena allocation
+// (nn.Arena): a set of tensors can be re-backed by disjoint views into one
+// contiguous slab so that bulk operations (zeroing, optimizer sweeps,
+// allreduce) run over a single flat range. The caller is responsible for
+// the aliasing this creates; data is not copied.
+func (t *Tensor) Rebase(data []float64) {
+	if len(data) != len(t.Data) {
+		panic(fmt.Sprintf("tensor: Rebase length %d does not match tensor volume %d", len(data), len(t.Data)))
+	}
+	t.Data = data
 }
 
 // Zero sets every element to zero.

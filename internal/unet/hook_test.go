@@ -1,0 +1,147 @@
+package unet
+
+import (
+	"math"
+	"testing"
+
+	"mgdiffnet/internal/nn"
+	"mgdiffnet/internal/tensor"
+)
+
+func hookTestNet(adapted bool) *UNet {
+	cfg := DefaultConfig(2)
+	cfg.BaseFilters = 4
+	cfg.Depth = 2
+	cfg.BatchNorm = false
+	u := New(cfg)
+	if adapted {
+		u.Adapt()
+	}
+	return u
+}
+
+func hookTestInput(u *UNet) (*tensor.Tensor, *tensor.Tensor) {
+	x := tensor.New(2, 1, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = math.Sin(float64(i) * 0.17)
+	}
+	out := u.Forward(x, true)
+	g := tensor.New(out.Shape()...)
+	for i := range g.Data {
+		g.Data[i] = math.Cos(float64(i) * 0.29)
+	}
+	return x, g
+}
+
+// BackwardParamGroups must partition exactly the network's parameters —
+// every parameter in exactly one group — because the bucket planner maps
+// groups onto the arena slab and an uncovered parameter would deadlock the
+// overlapped allreduce.
+func TestBackwardParamGroupsPartitionParams(t *testing.T) {
+	for _, adapted := range []bool{false, true} {
+		u := hookTestNet(adapted)
+		seen := map[*nn.Param]bool{}
+		for _, g := range u.BackwardParamGroups() {
+			if len(g) == 0 {
+				t.Fatal("empty group emitted")
+			}
+			for _, p := range g {
+				if seen[p] {
+					t.Fatalf("adapted=%v: parameter %s in two groups", adapted, p.Name)
+				}
+				seen[p] = true
+			}
+		}
+		params := u.Params()
+		if len(seen) != len(params) {
+			t.Fatalf("adapted=%v: groups cover %d of %d parameters", adapted, len(seen), len(params))
+		}
+		for _, p := range params {
+			if !seen[p] {
+				t.Fatalf("adapted=%v: parameter %s not covered", adapted, p.Name)
+			}
+		}
+	}
+}
+
+// The hook contract: when onGroup(g) fires, group g's parameter gradients
+// are final — bit-identical to their values after the full backward pass —
+// and the indices arrive as 0,1,2,... matching BackwardParamGroups.
+func TestBackwardHookFiresWhenGroupGradsAreFinal(t *testing.T) {
+	for _, adapted := range []bool{false, true} {
+		u := hookTestNet(adapted)
+		_, g := hookTestInput(u)
+		groups := u.BackwardParamGroups()
+
+		snapshots := make([][][]float64, len(groups))
+		next := 0
+		u.BackwardWithHook(g, func(gi int) {
+			if gi != next {
+				t.Fatalf("adapted=%v: hook fired with group %d, want %d", adapted, gi, next)
+			}
+			next++
+			snap := make([][]float64, len(groups[gi]))
+			for j, p := range groups[gi] {
+				snap[j] = append([]float64(nil), p.Grad.Data...)
+			}
+			snapshots[gi] = snap
+		})
+		if next != len(groups) {
+			t.Fatalf("adapted=%v: %d hooks fired, want %d", adapted, next, len(groups))
+		}
+		for gi, grp := range groups {
+			for j, p := range grp {
+				for k, v := range p.Grad.Data {
+					if snapshots[gi][j][k] != v {
+						t.Fatalf("adapted=%v: group %d param %s grad changed after its hook fired",
+							adapted, gi, p.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Buffer reuse must not change any result: forward outputs, input
+// gradients and parameter gradients stay bit-identical across repeated
+// passes, and equal to a reuse-free network's.
+func TestBufferReuseBitIdentical(t *testing.T) {
+	base := hookTestNet(false)
+	reused := base.Clone()
+	reused.SetBufferReuse(true)
+
+	x := tensor.New(2, 1, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = math.Sin(float64(i) * 0.13)
+	}
+	for pass := 0; pass < 3; pass++ {
+		outA := base.Forward(x, true)
+		outB := reused.Forward(x, true)
+		for i := range outA.Data {
+			if outA.Data[i] != outB.Data[i] {
+				t.Fatalf("pass %d: forward outputs differ at %d", pass, i)
+			}
+		}
+		g := tensor.New(outA.Shape()...)
+		for i := range g.Data {
+			g.Data[i] = math.Cos(float64(i)*0.31 + float64(pass))
+		}
+		nn.ZeroGrads(base)
+		nn.ZeroGrads(reused)
+		giA := base.Backward(g)
+		giB := reused.Backward(g.Clone()) // reused may alias its own buffers; give it its own copy
+		for i := range giA.Data {
+			if giA.Data[i] != giB.Data[i] {
+				t.Fatalf("pass %d: input gradients differ at %d", pass, i)
+			}
+		}
+		pa, pb := base.Params(), reused.Params()
+		for i := range pa {
+			for j := range pa[i].Grad.Data {
+				if pa[i].Grad.Data[j] != pb[i].Grad.Data[j] {
+					t.Fatalf("pass %d: param %s grads differ", pass, pa[i].Name)
+				}
+			}
+		}
+	}
+}

@@ -95,6 +95,19 @@ type UNet struct {
 
 	// caches for Backward
 	skipChannels []int
+
+	// reuse mirrors nn.SetBufferReuse across the constituent layers and
+	// additionally recycles the network-level scratch below: the per-level
+	// skip slices and the concat/split tensors of the decoder. Enabled by
+	// owners whose training loop never retains activations across passes
+	// (dist.ParallelTrainer replicas).
+	reuse     bool
+	skips     []*tensor.Tensor
+	skipGrads []*tensor.Tensor
+	catBuf    []*tensor.Tensor // decoder concat outputs, one per level
+	splitUp   []*tensor.Tensor // decoder split: up-path gradient halves
+	splitSkip []*tensor.Tensor // decoder split: skip-path gradient halves
+	refHP     []bool           // which refinement layers carry parameters
 }
 
 // New builds a U-Net from cfg. It panics on invalid configurations so that
@@ -135,7 +148,42 @@ func New(cfg Config) *UNet {
 	if cfg.FinalSigmoid {
 		u.head.Append(nn.NewSigmoid())
 	}
+	u.skips = make([]*tensor.Tensor, cfg.Depth)
+	u.skipGrads = make([]*tensor.Tensor, cfg.Depth)
+	u.catBuf = make([]*tensor.Tensor, cfg.Depth)
+	u.splitUp = make([]*tensor.Tensor, cfg.Depth)
+	u.splitSkip = make([]*tensor.Tensor, cfg.Depth)
 	return u
+}
+
+// SetBufferReuse toggles output-buffer recycling on every constituent
+// layer (see nn.SetBufferReuse) and on the network-level decoder scratch.
+// It is sound only when no caller retains a Forward output or Backward
+// gradient across passes; training loops that consume each activation
+// within the step qualify. Layers added by later Adapt calls inherit the
+// current setting.
+func (u *UNet) SetBufferReuse(on bool) {
+	u.reuse = on
+	for _, b := range u.enc {
+		nn.SetBufferReuse(b.seq, on)
+	}
+	for _, p := range u.pool {
+		nn.SetBufferReuse(p, on)
+	}
+	nn.SetBufferReuse(u.mid.seq, on)
+	for i := range u.up {
+		nn.SetBufferReuse(u.up[i], on)
+		nn.SetBufferReuse(u.dec[i].seq, on)
+	}
+	for _, r := range u.refinement {
+		nn.SetBufferReuse(r, on)
+	}
+	nn.SetBufferReuse(u.head, on)
+	if !on {
+		for i := range u.catBuf {
+			u.catBuf[i], u.splitUp[i], u.splitSkip[i] = nil, nil, nil
+		}
+	}
 }
 
 func (u *UNet) newConv(name string, in, out, k, s, p int) nn.Layer {
@@ -234,7 +282,7 @@ func (u *UNet) checkInput(x *tensor.Tensor) {
 // replica, as internal/dist does.
 func (u *UNet) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	u.checkInput(x)
-	skips := make([]*tensor.Tensor, u.Cfg.Depth)
+	skips := u.skips
 	u.skipChannels = u.skipChannels[:0]
 	h := x
 	for l := 0; l < u.Cfg.Depth; l++ {
@@ -247,8 +295,20 @@ func (u *UNet) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for i := 0; i < u.Cfg.Depth; i++ {
 		l := u.Cfg.Depth - 1 - i
 		h = u.up[i].Forward(h, train)
-		h = nn.ConcatChannels(h, skips[l])
+		if u.reuse {
+			u.catBuf[i] = nn.ConcatChannelsInto(u.catBuf[i], h, skips[l])
+			h = u.catBuf[i]
+		} else {
+			h = nn.ConcatChannels(h, skips[l])
+		}
 		h = u.dec[i].forward(h, train)
+	}
+	// The skip scratch is only needed within this pass; drop the
+	// references so a held network does not pin a batch of encoder
+	// activations after the pass returns (with reuse on the layers own
+	// those buffers anyway).
+	for l := range skips {
+		skips[l] = nil
 	}
 	for _, r := range u.refinement {
 		h = r.Forward(h, train)
@@ -258,27 +318,113 @@ func (u *UNet) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements nn.Layer, propagating through the skip topology.
 func (u *UNet) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return u.BackwardWithHook(grad, nil)
+}
+
+// BackwardWithHook is Backward with a progress callback: onGroup(g) is
+// invoked immediately after the parameter gradients of backward group g
+// (see BackwardParamGroups) become final — that group's layer has finished
+// its backward pass and nothing later in the traversal touches its
+// gradients again. Group indices arrive strictly increasing from 0 to
+// len(BackwardParamGroups())-1. dist.ParallelTrainer hooks in here to
+// start each gradient bucket's allreduce while the rest of backward is
+// still running. A nil hook makes it plain Backward.
+func (u *UNet) BackwardWithHook(grad *tensor.Tensor, onGroup func(group int)) *tensor.Tensor {
+	// The unconditional fire() calls below rely on a construction
+	// invariant: head, decoder, upsampler, bottleneck and encoder units
+	// always carry parameters (newBlock/newUp/newConv always install a
+	// convolution), so they always correspond to a BackwardParamGroups
+	// entry. Refinement layers are the only unit kind that can be
+	// parameter-free (activations), hence the refHP guard. The
+	// partition test (TestBackwardParamGroupsPartitionParams) and the
+	// bucket planner's coverage check enforce the alignment.
+	group := 0
+	fire := func() {
+		if onGroup != nil {
+			onGroup(group)
+		}
+		group++
+	}
 	g := u.head.Backward(grad)
+	fire()
+	refHP := u.refinementHasParams()
 	for i := len(u.refinement) - 1; i >= 0; i-- {
 		g = u.refinement[i].Backward(g)
+		if refHP[i] {
+			fire()
+		}
 	}
-	skipGrads := make([]*tensor.Tensor, u.Cfg.Depth)
+	skipGrads := u.skipGrads
 	for i := u.Cfg.Depth - 1; i >= 0; i-- {
 		l := u.Cfg.Depth - 1 - i
 		g = u.dec[i].backward(g)
+		fire()
 		upCh := u.skipChannels[l] // up path emitted ch(l) channels, same as skip
 		var gs *tensor.Tensor
-		g, gs = nn.SplitChannels(g, upCh, u.skipChannels[l])
+		if u.reuse {
+			ga, gb := nn.SplitChannelsInto(u.splitUp[i], u.splitSkip[i], g, upCh, u.skipChannels[l])
+			u.splitUp[i], u.splitSkip[i] = ga, gb
+			g, gs = ga, gb
+		} else {
+			g, gs = nn.SplitChannels(g, upCh, u.skipChannels[l])
+		}
 		skipGrads[l] = gs
 		g = u.up[i].Backward(g)
+		fire()
 	}
 	g = u.mid.backward(g)
+	fire()
 	for l := u.Cfg.Depth - 1; l >= 0; l-- {
 		g = u.pool[l].Backward(g)
 		g.Add(skipGrads[l])
+		skipGrads[l] = nil // per-pass scratch; see Forward
 		g = u.enc[l].backward(g)
+		fire()
 	}
 	return g
+}
+
+// BackwardParamGroups returns the network's parameters grouped by the unit
+// (block or layer) that finalizes them, in backward-completion order: the
+// output head first, then refinement layers in reverse, the decoder from
+// shallowest to deepest (each level's conv block before its upsampler),
+// the bottleneck, and finally the encoder from deepest to shallowest.
+// Units without parameters are omitted. The ordering matches the hook
+// sequence of BackwardWithHook exactly: group g's gradients are final when
+// onGroup(g) fires.
+func (u *UNet) BackwardParamGroups() [][]*nn.Param {
+	var gs [][]*nn.Param
+	add := func(ps []*nn.Param) {
+		if len(ps) > 0 {
+			gs = append(gs, ps)
+		}
+	}
+	add(u.head.Params())
+	for i := len(u.refinement) - 1; i >= 0; i-- {
+		add(u.refinement[i].Params())
+	}
+	for i := u.Cfg.Depth - 1; i >= 0; i-- {
+		add(u.dec[i].params())
+		add(u.up[i].Params())
+	}
+	add(u.mid.params())
+	for l := u.Cfg.Depth - 1; l >= 0; l-- {
+		add(u.enc[l].params())
+	}
+	return gs
+}
+
+// refinementHasParams caches which refinement layers carry parameters so
+// the backward hot path does not rebuild parameter slices every batch. The
+// cache keys on the refinement length, which every Adapt call changes.
+func (u *UNet) refinementHasParams() []bool {
+	if len(u.refHP) != len(u.refinement) {
+		u.refHP = u.refHP[:0]
+		for _, r := range u.refinement {
+			u.refHP = append(u.refHP, len(r.Params()) > 0)
+		}
+	}
+	return u.refHP
 }
 
 // Params implements nn.Layer.
@@ -335,6 +481,11 @@ func (u *UNet) Adapt() []*nn.Param {
 
 	u.refinement = append(u.refinement, conv, act1, tc1, act2, tc2)
 	u.adaptions++
+	if u.reuse {
+		for _, l := range []nn.Layer{conv, act1, tc1, act2, tc2} {
+			nn.SetBufferReuse(l, true)
+		}
+	}
 
 	var fresh []*nn.Param
 	fresh = append(fresh, conv.Params()...)
