@@ -1,5 +1,5 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr4.json
+BENCH_OUT ?= BENCH_pr5.json
 
 .PHONY: all build vet test race bench ci clean
 
@@ -15,19 +15,20 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/nn/ ./internal/tensor/ ./internal/dist/
+	$(GO) test -race ./internal/nn/ ./internal/tensor/ ./internal/dist/ ./internal/serve/
 	$(GO) test -race -short -run 'Checkpoint|Resume' ./internal/core/
 
 ci: vet test
 
 # Run the strong-scaling benchmarks (Figure 9: allreduce ablation +
 # data-parallel epoch sweep), the bucketed comm/compute-overlap ablation,
-# the Conv3D direct-vs-GEMM lowering ablation, and the distributed Half-V
-# stage (multigrid schedule through the data-parallel backend), and save
-# them as JSON to extend the perf trajectory; the raw `go test -bench`
-# text is kept alongside.
+# the 2D/3D direct-vs-GEMM lowering ablations, the distributed Half-V
+# stage (multigrid schedule through the data-parallel backend), and the
+# serving-throughput acceptance bench (batched engine vs sequential
+# per-request forwards), and save them as JSON to extend the perf
+# trajectory; the raw `go test -bench` text is kept alongside.
 bench:
-	$(GO) test -run '^$$' -bench 'Figure9|BucketedAllreduceOverlap|AblationConv3D|DistHalfVStage' -benchmem . | tee BENCH_raw.txt
+	$(GO) test -run '^$$' -bench 'Figure9|BucketedAllreduceOverlap|AblationConv|DistHalfVStage|ServeThroughput' -benchmem -timeout 30m . | tee BENCH_raw.txt
 	awk 'BEGIN { print "[" } \
 	  /^Benchmark/ { \
 	    if (n++) printf(",\n"); \

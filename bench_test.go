@@ -12,7 +12,9 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"mgdiffnet/internal/core"
 	"mgdiffnet/internal/dist"
@@ -23,6 +25,7 @@ import (
 	"mgdiffnet/internal/nn"
 	"mgdiffnet/internal/perfmodel"
 	"mgdiffnet/internal/pinn"
+	"mgdiffnet/internal/serve"
 	"mgdiffnet/internal/sparse"
 	"mgdiffnet/internal/tensor"
 	"mgdiffnet/internal/unet"
@@ -520,11 +523,13 @@ func BenchmarkAblationConvLowering(b *testing.B) {
 		x.Data[i] = float64(i%13) * 0.1
 	}
 	b.Run("Direct", func(b *testing.B) {
+		c.Algo = nn.ConvDirect
 		for i := 0; i < b.N; i++ {
 			c.Forward(x, false)
 		}
 	})
 	b.Run("Im2colGEMM", func(b *testing.B) {
+		c.Algo = nn.ConvGEMM
 		for i := 0; i < b.N; i++ {
 			nn.Conv2DGEMM(c, x)
 		}
@@ -648,6 +653,94 @@ func BenchmarkModelParallelInference(b *testing.B) {
 	}
 }
 
+// benchOmega derives a distinct parameter vector per request index so the
+// serving benchmarks measure batched dispatch, not cache or dedup hits.
+func benchOmega(k int) field.Omega {
+	var w field.Omega
+	for j := range w {
+		frac := float64((k*2654435761+j*40503)%10000) / 10000.0
+		w[j] = -3 + 6*frac
+	}
+	return w
+}
+
+// BenchmarkServeThroughput is the serving acceptance benchmark: requests/s
+// of the batched multi-replica engine (by coalescing width) against two
+// sequential per-request baselines — one rasterize + net.Forward + BC
+// imposition per query. SequentialForward pins DirectConv and is the
+// pre-serving consumer exactly as it shipped before this subsystem (2D
+// nets had no GEMM dispatch, every mginfer/experiment query paid the
+// direct loops); SequentialLowered is the same per-request loop with the
+// engine's kernel selection, isolating how much of the win is lowering
+// versus dispatch. Every request uses a distinct ω, so the engine's cache
+// and single-flight dedup never fire.
+func BenchmarkServeThroughput(b *testing.B) {
+	const res = 16
+	cfg := unet.DefaultConfig(2)
+	cfg.Depth = 2
+	cfg.BaseFilters = 4
+	net := unet.New(cfg)
+	loss := fem.NewEnergyLoss(2)
+
+	direct := cfg
+	direct.DirectConv = true
+	directNet := unet.New(direct)
+
+	sequential := func(b *testing.B, n *unet.UNet) {
+		in := tensor.New(1, 1, res, res)
+		for i := 0; i < b.N; i++ {
+			field.RasterInto(in.Data, benchOmega(i), 2, res)
+			u := loss.WithBC(n.Forward(in, false))
+			if u.Len() == 0 {
+				b.Fatal("empty")
+			}
+		}
+	}
+	b.Run("SequentialForward", func(b *testing.B) { sequential(b, directNet) })
+	b.Run("SequentialLowered", func(b *testing.B) { sequential(b, net) })
+
+	for _, window := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("BatchedWindow%d", window), func(b *testing.B) {
+			eng, err := serve.NewEngine(serve.Config{
+				Net:         net,
+				Replicas:    1, // single-replica: the ratio is pure batching, not parallelism
+				MaxBatch:    window,
+				BatchWindow: 200 * time.Microsecond,
+				CacheSize:   -1,
+				SlabVoxels:  -1,
+				WarmRes:     []int{res},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			// More clients than cores keeps the queue saturated so batches
+			// fill to MaxBatch instead of waiting out the window.
+			const clients = 16
+			var next atomic.Int64
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						k := next.Add(1) - 1
+						if k >= int64(b.N) {
+							return
+						}
+						if _, err := eng.Solve(benchOmega(int(k)), res); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
 // BenchmarkVTKWrite measures the zlib-compressed field export path.
 func BenchmarkVTKWrite(b *testing.B) {
 	nu := field.Raster2D(experiments.Table3Omega, 128)
@@ -699,12 +792,14 @@ func BenchmarkAblationConvBackward(b *testing.B) {
 		gradOut.Data[i] = float64(i%23) * 0.03
 	}
 	b.Run("Direct", func(b *testing.B) {
+		c.Algo = nn.ConvDirect
 		for i := 0; i < b.N; i++ {
 			nn.ZeroGrads(c)
 			c.Backward(gradOut)
 		}
 	})
 	b.Run("Im2colGEMM", func(b *testing.B) {
+		c.Algo = nn.ConvGEMM
 		for i := 0; i < b.N; i++ {
 			nn.ZeroGrads(c)
 			nn.Conv2DGEMMBackward(c, x, gradOut)

@@ -1,0 +1,283 @@
+// Command mgserve exposes a trained MGDiffNet model as an HTTP inference
+// service built on the batched multi-replica engine in internal/serve:
+// single-ω requests arriving close together are coalesced into one
+// forward pass, identical queries are deduplicated and cached, and very
+// large fields route through the slab-parallel path.
+//
+// Endpoints:
+//
+//	POST /solve       {"omega":[4 floats],"res":64,"summary":false}
+//	POST /solve-batch {"omegas":[[4 floats],...],"res":64,"summary":true}
+//	GET  /stats       engine counters
+//	GET  /healthz     liveness + model metadata
+//
+// Example:
+//
+//	mgserve -model model.bin -addr :8080 -replicas 4 -window 2ms
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"mgdiffnet/internal/field"
+	"mgdiffnet/internal/serve"
+	"mgdiffnet/internal/unet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mgserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		model       = fs.String("model", "", "path to a model saved by mgtrain (required)")
+		addr        = fs.String("addr", ":8080", "listen address")
+		replicas    = fs.Int("replicas", 0, "network replicas (0 = auto)")
+		maxBatch    = fs.Int("max-batch", 8, "max coalesced requests per forward pass")
+		window      = fs.Duration("window", 2*time.Millisecond, "micro-batching latency window (0 = greedy)")
+		cacheSize   = fs.Int("cache", 256, "LRU result-cache entries (negative disables)")
+		cacheMB     = fs.Int("cache-mb", 256, "LRU result-cache payload budget in MB")
+		slabVoxels  = fs.Int("slab-voxels", 1<<21, "route single requests with >= this many voxels to the slab-parallel path (negative disables)")
+		slabWorkers = fs.Int("slab-workers", 2, "slab count of the spatial-inference path")
+		warm        = fs.String("warm", "", "comma-separated resolutions to warm each replica at (e.g. 32,64)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *model == "" {
+		fmt.Fprintln(stderr, "mgserve: -model is required")
+		return 2
+	}
+	warmRes, err := parseResList(*warm)
+	if err != nil {
+		fmt.Fprintln(stderr, "mgserve:", err)
+		return 2
+	}
+	net, err := unet.LoadFile(*model)
+	if err != nil {
+		fmt.Fprintln(stderr, "mgserve:", err)
+		return 1
+	}
+	for _, r := range warmRes {
+		if err := net.ValidateRes(r); err != nil {
+			fmt.Fprintln(stderr, "mgserve: -warm:", err)
+			return 2
+		}
+	}
+	eng, err := serve.NewEngine(serve.Config{
+		Net:         net,
+		Replicas:    *replicas,
+		MaxBatch:    *maxBatch,
+		BatchWindow: *window,
+		CacheSize:   *cacheSize,
+		CacheMB:     *cacheMB,
+		SlabVoxels:  *slabVoxels,
+		SlabWorkers: *slabWorkers,
+		WarmRes:     warmRes,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "mgserve:", err)
+		return 1
+	}
+	defer eng.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: newHandler(eng)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(stdout, "mgserve: %dD model %s on %s (replicas %d, max batch %d, window %v)\n",
+		eng.Dim(), *model, *addr, eng.Stats().Replicas, *maxBatch, *window)
+
+	select {
+	case <-ctx.Done():
+		// Graceful shutdown: stop accepting, drain in-flight HTTP, then
+		// drain the engine (deferred Close).
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(stderr, "mgserve: shutdown:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "mgserve: clean shutdown")
+		return 0
+	case err := <-errc:
+		fmt.Fprintln(stderr, "mgserve:", err)
+		return 1
+	}
+}
+
+func parseResList(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad resolution %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// solveRequest is the JSON body of /solve and (with Omegas) /solve-batch.
+type solveRequest struct {
+	Omega   []float64   `json:"omega,omitempty"`
+	Omegas  [][]float64 `json:"omegas,omitempty"`
+	Res     int         `json:"res"`
+	Summary bool        `json:"summary,omitempty"`
+}
+
+// solveResponse is one answered field. U is omitted in summary mode (the
+// min/max/mean triple is always present, so load probes stay cheap).
+type solveResponse struct {
+	Res    int       `json:"res"`
+	Dim    int       `json:"dim"`
+	Cached bool      `json:"cached"`
+	Shared bool      `json:"shared"`
+	Slab   bool      `json:"slab"`
+	Batch  int       `json:"batch"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Mean   float64   `json:"mean"`
+	U      []float64 `json:"u,omitempty"`
+}
+
+func toResponse(r serve.Result, summary bool) solveResponse {
+	resp := solveResponse{
+		Res: r.Res, Dim: r.Dim,
+		Cached: r.Cached, Shared: r.Shared, Slab: r.Slab, Batch: r.Batch,
+	}
+	if len(r.U) > 0 {
+		mn, mx, sum := r.U[0], r.U[0], 0.0
+		for _, v := range r.U {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+			sum += v
+		}
+		resp.Min, resp.Max, resp.Mean = mn, mx, sum/float64(len(r.U))
+	}
+	if !summary {
+		resp.U = r.U
+	}
+	return resp
+}
+
+func parseOmegaSlice(vals []float64) (field.Omega, error) {
+	var w field.Omega
+	if len(vals) != field.OmegaDim {
+		return w, fmt.Errorf("omega needs %d values, got %d", field.OmegaDim, len(vals))
+	}
+	copy(w[:], vals)
+	return w, nil
+}
+
+// newHandler builds the HTTP API over an engine. Split from run so tests
+// can drive it through httptest without binding a socket.
+func newHandler(eng *serve.Engine) http.Handler {
+	mux := http.NewServeMux()
+
+	writeJSON := func(w http.ResponseWriter, status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(v)
+	}
+	badRequest := func(w http.ResponseWriter, err error) {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	}
+	decode := func(w http.ResponseWriter, r *http.Request) (solveRequest, bool) {
+		var req solveRequest
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST required"})
+			return req, false
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			badRequest(w, fmt.Errorf("bad JSON: %w", err))
+			return req, false
+		}
+		if err := eng.ValidateRes(req.Res); err != nil {
+			badRequest(w, err)
+			return req, false
+		}
+		return req, true
+	}
+
+	mux.HandleFunc("/solve", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decode(w, r)
+		if !ok {
+			return
+		}
+		omega, err := parseOmegaSlice(req.Omega)
+		if err != nil {
+			badRequest(w, err)
+			return
+		}
+		res, err := eng.Solve(omega, req.Res)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, toResponse(res, req.Summary))
+	})
+
+	mux.HandleFunc("/solve-batch", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decode(w, r)
+		if !ok {
+			return
+		}
+		if len(req.Omegas) == 0 {
+			badRequest(w, fmt.Errorf("omegas is required"))
+			return
+		}
+		ws := make([]field.Omega, len(req.Omegas))
+		for i, vals := range req.Omegas {
+			omega, err := parseOmegaSlice(vals)
+			if err != nil {
+				badRequest(w, fmt.Errorf("omegas[%d]: %w", i, err))
+				return
+			}
+			ws[i] = omega
+		}
+		results, err := eng.SolveBatch(ws, req.Res)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		out := make([]solveResponse, len(results))
+		for i, res := range results {
+			out[i] = toResponse(res, req.Summary)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": out})
+	})
+
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, eng.Stats())
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "dim": eng.Dim()})
+	})
+
+	return mux
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mgdiffnet/internal/serve"
+	"mgdiffnet/internal/unet"
+)
+
+func testHandler(t *testing.T) http.Handler {
+	t.Helper()
+	cfg := unet.DefaultConfig(2)
+	cfg.Depth = 2
+	cfg.BaseFilters = 4
+	eng, err := serve.NewEngine(serve.Config{
+		Net: unet.New(cfg), Replicas: 2, MaxBatch: 4, BatchWindow: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	return newHandler(eng)
+}
+
+func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewBufferString(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	h := testHandler(t)
+	rec := post(t, h, "/solve", `{"omega":[0.3,1.5,0.1,-1.2],"res":16}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp solveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Res != 16 || resp.Dim != 2 || len(resp.U) != 16*16 {
+		t.Fatalf("bad response: res %d dim %d len(u) %d", resp.Res, resp.Dim, len(resp.U))
+	}
+	// Dirichlet left edge is 1 by construction; spot-check BC imposition.
+	if resp.U[0] != 1 {
+		t.Fatalf("u[0] = %v, want the Dirichlet value 1", resp.U[0])
+	}
+
+	// Summary mode keeps the stats but drops the field payload.
+	rec = post(t, h, "/solve", `{"omega":[0.3,1.5,0.1,-1.2],"res":16,"summary":true}`)
+	resp = solveResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.U) != 0 || resp.Max == 0 {
+		t.Fatalf("summary response kept u (%d values) or lost stats (max %v)", len(resp.U), resp.Max)
+	}
+	if !resp.Cached {
+		t.Fatal("identical repeat query missed the cache")
+	}
+}
+
+func TestSolveBatchEndpoint(t *testing.T) {
+	h := testHandler(t)
+	rec := post(t, h, "/solve-batch", `{"omegas":[[0.1,0.2,0.3,0.4],[1,2,-1,-2]],"res":8,"summary":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Results []solveResponse `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(resp.Results))
+	}
+}
+
+func TestSolveRejectsBadInput(t *testing.T) {
+	h := testHandler(t)
+	cases := []struct{ path, body string }{
+		{"/solve", `{"omega":[0.1,0.2],"res":16}`},         // wrong ω arity
+		{"/solve", `{"omega":[0.1,0.2,0.3,0.4],"res":13}`}, // bad granularity
+		{"/solve", `not json`},
+		{"/solve-batch", `{"omegas":[],"res":16}`},
+		{"/solve-batch", `{"omegas":[[1,2,3]],"res":16}`},
+	}
+	for _, c := range cases {
+		if rec := post(t, h, c.path, c.body); rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s %q: status %d, want 400", c.path, c.body, rec.Code)
+		}
+	}
+	// GET on a POST endpoint.
+	req := httptest.NewRequest(http.MethodGet, "/solve", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /solve: status %d, want 405", rec.Code)
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	h := testHandler(t)
+	post(t, h, "/solve", `{"omega":[0.3,1.5,0.1,-1.2],"res":8}`)
+	req := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"requests":1`) {
+		t.Fatalf("stats: %d %s", rec.Code, rec.Body.String())
+	}
+	req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok":true`) {
+		t.Fatalf("healthz: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{}, &out, &errb); code != 2 {
+		t.Fatalf("missing -model: code %d, want 2", code)
+	}
+	if code := run([]string{"-model", "x.bin", "-warm", "abc"}, &out, &errb); code != 2 {
+		t.Fatalf("bad -warm: code %d, want 2", code)
+	}
+	if code := run([]string{"-model", "/nonexistent/model.bin"}, &out, &errb); code != 1 {
+		t.Fatalf("unreadable model: code %d, want 1", code)
+	}
+}
+
+func TestParseResList(t *testing.T) {
+	got, err := parseResList(" 16, 32 ")
+	if err != nil || len(got) != 2 || got[0] != 16 || got[1] != 32 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := parseResList("16,x"); err == nil {
+		t.Fatal("expected error")
+	}
+	if got, err := parseResList(""); err != nil || got != nil {
+		t.Fatalf("empty list: %v, %v", got, err)
+	}
+}

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"fmt"
+	"os"
 	"sync"
 	"time"
 
 	"mgdiffnet/internal/fem"
 	"mgdiffnet/internal/field"
 	"mgdiffnet/internal/nn"
+	"mgdiffnet/internal/sparse"
 	"mgdiffnet/internal/tensor"
 )
 
@@ -68,10 +71,17 @@ func (s *SupervisedTrainer) label(i, res int) []float64 {
 	start := time.Now()
 	w := s.omegas.Omegas[key.sample]
 	var u *tensor.Tensor
+	var cg sparse.CGResult
 	if s.Cfg.Dim == 2 {
-		u, _ = fem.Solve2D(field.Raster2D(w, res), s.CGTol, 50*res*res)
+		u, cg = fem.Solve2D(field.Raster2D(w, res), s.CGTol, 50*res*res)
 	} else {
-		u, _ = fem.Solve3D(field.Raster3D(w, res), s.CGTol, 50*res*res*res)
+		u, cg = fem.Solve3D(field.Raster3D(w, res), s.CGTol, 50*res*res*res)
+	}
+	if !cg.Converged {
+		// Training against an unconverged label corrupts the supervised
+		// baseline the data-free comparison is measured against.
+		fmt.Fprintf(os.Stderr, "core: WARNING: FEM label for sample %d at res %d did not converge after %d iterations (residual %.3g)\n",
+			key.sample, res, cg.Iterations, cg.Residual)
 	}
 	sec := time.Since(start).Seconds()
 

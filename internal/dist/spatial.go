@@ -34,11 +34,22 @@ func HaloFor(net *unet.UNet) int {
 // kernel than the monolithic pass near the size threshold, in which case
 // the results agree to floating-point summation order (≲1e-13) instead;
 // pin unet.Config.DirectConv to recover exact bitwise equality.
+// SpatialInference is safe for concurrent Forward/ForwardInto calls: a
+// pass owns the worker replicas and their scratch exclusively, so
+// concurrent callers serialize on an internal mutex (the slab workers
+// still run in parallel inside each pass). The per-worker extended-slab
+// and halo scratch is reused across passes, so steady-state inference
+// allocates nothing beyond the output tensor — and not even that when the
+// caller provides one to ForwardInto.
 type SpatialInference struct {
 	workers int
 	halo    int
 	nets    []*unet.UNet // one clone per worker: forward caches are per-replica
 	trs     []Transport
+
+	mu   sync.Mutex       // one pass at a time; guards the scratch below
+	ext  []*tensor.Tensor // per-worker extended-slab input scratch
+	hbuf []*tensor.Tensor // per-worker halo exchange scratch
 }
 
 // NewSpatialInference builds a slab-decomposed evaluator over workers
@@ -63,8 +74,16 @@ func NewSpatialInference(net *unet.UNet, workers, halo int) (*SpatialInference, 
 	}
 	si := &SpatialInference{workers: workers, halo: halo}
 	for w := 0; w < workers; w++ {
-		si.nets = append(si.nets, net.Clone())
+		c := net.Clone()
+		// The replicas are owned outright and every output is copied into
+		// the caller-visible tensor before the pass returns, so recycling
+		// the layer buffers across passes is sound and makes steady-state
+		// slab inference allocation-free.
+		c.SetBufferReuse(true)
+		si.nets = append(si.nets, c)
 	}
+	si.ext = make([]*tensor.Tensor, workers)
+	si.hbuf = make([]*tensor.Tensor, workers)
 	if workers > 1 {
 		si.trs = NewChannelRing(workers)
 	}
@@ -103,7 +122,18 @@ func copyRows(dst, src *tensor.Tensor, dstLo, srcLo, rows int) {
 
 // Forward evaluates the decomposed network on x ([N, C, H, ...]) and
 // returns the full-domain output, identical to nets[0].Forward(x, false).
+// It is safe for concurrent use; see ForwardInto.
 func (s *SpatialInference) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return s.ForwardInto(nil, x)
+}
+
+// ForwardInto is Forward writing into a caller-provided output tensor. A
+// nil or shape-mismatched dst is replaced by a fresh tensor; the tensor
+// actually used is returned, so callers that hold onto it make the whole
+// pass allocation-free in steady state. Concurrent calls are safe and
+// serialize on an internal mutex (each pass already parallelizes across
+// the slab workers internally, so overlapping passes would only thrash).
+func (s *SpatialInference) ForwardInto(dst, x *tensor.Tensor) (*tensor.Tensor, error) {
 	cfg := s.nets[0].Cfg
 	wantRank := cfg.Dim + 2
 	if x.Rank() != wantRank {
@@ -120,8 +150,22 @@ func (s *SpatialInference) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 			return nil, fmt.Errorf("dist: spatial extent %d must be a positive multiple of %d", d, m)
 		}
 	}
+	outShape := append([]int(nil), x.Shape()...)
+	outShape[1] = cfg.OutChannels
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
 	if s.workers == 1 {
-		return s.nets[0].Forward(x, false), nil
+		// The replica recycles its output buffer (SetBufferReuse), so the
+		// result must be copied out before the lock is released.
+		y := s.nets[0].Forward(x, false)
+		out := dst
+		if out == nil || !out.ShapeIs(outShape...) {
+			out = tensor.New(outShape...)
+		}
+		out.CopyFrom(y)
+		return out, nil
 	}
 	H := x.Dim(2)
 	if H%s.workers != 0 {
@@ -135,9 +179,10 @@ func (s *SpatialInference) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("dist: halo %d exceeds slab height %d; use fewer workers or a larger domain", s.halo, slab)
 	}
 
-	outShape := append([]int(nil), x.Shape()...)
-	outShape[1] = cfg.OutChannels
-	out := tensor.New(outShape...)
+	out := dst
+	if out == nil || !out.ShapeIs(outShape...) {
+		out = tensor.New(outShape...)
+	}
 	tailDims := x.Shape()[3:]
 	N, C := x.Dim(0), x.Dim(1)
 	haloShape := append([]int{N, C, s.halo}, tailDims...)
@@ -160,6 +205,16 @@ func (s *SpatialInference) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	return out, nil
 }
 
+// scratchFor returns worker w's reusable scratch tensor from pool,
+// replacing it when the requested shape changes.
+func scratchFor(pool []*tensor.Tensor, w int, shape []int) *tensor.Tensor {
+	if t := pool[w]; t != nil && t.ShapeIs(shape...) {
+		return t
+	}
+	pool[w] = tensor.New(shape...)
+	return pool[w]
+}
+
 // forwardSlab is one worker's share of Forward: exchange halos with the
 // ring neighbors, run the network on the extended slab, keep the interior.
 func (s *SpatialInference) forwardSlab(w int, x, out *tensor.Tensor, slab int, haloShape []int) error {
@@ -174,13 +229,13 @@ func (s *SpatialInference) forwardSlab(w int, x, out *tensor.Tensor, slab int, h
 
 	extShape := append([]int(nil), x.Shape()...)
 	extShape[2] = hi2 - lo2
-	ext := tensor.New(extShape...)
+	ext := scratchFor(s.ext, w, extShape)
 	copyRows(ext, x, lo-lo2, lo, slab) // the rows this worker owns
 
 	// Halo exchange: boundary rows travel through the transport, exactly
 	// as they would between MPI ranks that each hold only their slab.
 	tr := s.trs[w]
-	buf := tensor.New(haloShape...)
+	buf := scratchFor(s.hbuf, w, haloShape)
 	if w > 0 {
 		copyRows(buf, x, 0, lo, s.halo) // my top rows → left neighbor
 		if err := tr.Send(w-1, buf.Data); err != nil {
@@ -203,7 +258,7 @@ func (s *SpatialInference) forwardSlab(w int, x, out *tensor.Tensor, slab int, h
 		if err := tr.Recv(w+1, buf.Data); err != nil {
 			return err
 		}
-		copyRows(ext, buf, (hi-lo2), 0, s.halo)
+		copyRows(ext, buf, (hi - lo2), 0, s.halo)
 	}
 
 	y := s.nets[w].Forward(ext, false)

@@ -94,9 +94,11 @@ func PINNBaseline(sc Scale) BaselineRow {
 }
 
 // predictionError solves the held-out instance with FEM and returns the
-// RMSE of the given [res,res] prediction against it.
+// RMSE of the given [res,res] prediction against it. An unconverged CG is
+// flagged rather than silently used as the reference.
 func predictionError(uNN *tensor.Tensor, res int) float64 {
-	uFEM, _ := fem.Solve2D(field.Raster2D(heldOutOmega, res), 1e-9, 20000)
+	uFEM, cg := fem.Solve2D(field.Raster2D(heldOutOmega, res), 1e-9, 20000)
+	warnFEM("held-out baseline omega", cg)
 	return uNN.RMSE(uFEM)
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"mgdiffnet/internal/fem"
 	"mgdiffnet/internal/field"
 	"mgdiffnet/internal/gmg"
+	"mgdiffnet/internal/sparse"
 	"mgdiffnet/internal/tensor"
 )
 
@@ -39,6 +41,20 @@ type CompareRow struct {
 	RelL2   float64 // ‖u_NN − u_FEM‖₂ / ‖u_FEM‖₂
 	NNLoss  float64 // energy of the network field
 	FEMLoss float64 // energy of the FEM field (the optimum)
+	// FEMIters and FEMConverged describe the CG solve that produced the
+	// reference. An unconverged reference makes every error metric in the
+	// row a comparison against drift, so the report must carry the flag.
+	FEMIters     int
+	FEMConverged bool
+}
+
+// warnFEM flags an unconverged FEM reference on stderr: silently using it
+// would launder CG stagnation into "model error".
+func warnFEM(label string, cg sparse.CGResult) {
+	if !cg.Converged {
+		fmt.Fprintf(os.Stderr, "experiments: WARNING: FEM reference for %s did not converge after %d iterations (residual %.3g); error metrics compare against an unconverged field\n",
+			label, cg.Iterations, cg.Residual)
+	}
 }
 
 // Table3 trains one network per multigrid strategy and compares each
@@ -50,7 +66,8 @@ func Table3(sc Scale) []CompareRow {
 		res = 64
 	}
 	nuField := field.Raster2D(Table3Omega, res)
-	uFEM, _ := fem.Solve2D(nuField, 1e-10, 20000)
+	uFEM, cg := fem.Solve2D(nuField, 1e-10, 20000)
+	warnFEM("Table 3", cg)
 	p := fem.NewPoisson2D(res)
 	femLoss := p.Energy(uFEM, nuField)
 
@@ -62,7 +79,7 @@ func Table3(sc Scale) []CompareRow {
 		tr := core.NewTrainer(cfg)
 		tr.Run()
 		uNN := tr.Predict(Table3Omega, res)
-		rows = append(rows, compare(strat.String(), Table3Omega, uNN, uFEM, p.Energy(uNN, nuField), femLoss))
+		rows = append(rows, compare(strat.String(), Table3Omega, uNN, uFEM, p.Energy(uNN, nuField), femLoss, cg))
 	}
 	return rows
 }
@@ -81,11 +98,12 @@ func Table4(sc Scale, omegas []field.Omega) []CompareRow {
 	var rows []CompareRow
 	for i, w := range omegas {
 		nuField := field.Raster2D(w, res)
-		uFEM, _ := fem.Solve2D(nuField, 1e-10, 20000)
+		uFEM, cg := fem.Solve2D(nuField, 1e-10, 20000)
+		warnFEM(fmt.Sprintf("Table 4 omega %d", i+1), cg)
 		p := fem.NewPoisson2D(res)
 		uNN := tr.Predict(w, res)
 		rows = append(rows, compare(fmt.Sprintf("omega %d", i+1), w, uNN, uFEM,
-			p.Energy(uNN, nuField), p.Energy(uFEM, nuField)))
+			p.Energy(uNN, nuField), p.Energy(uFEM, nuField), cg))
 	}
 	return rows
 }
@@ -102,24 +120,27 @@ func Table5(sc Scale) []CompareRow {
 	tr.Run()
 
 	nuField := field.Raster3D(Table3Omega, res)
-	uFEM, _ := fem.Solve3D(nuField, 1e-9, 20000)
+	uFEM, cg := fem.Solve3D(nuField, 1e-9, 20000)
+	warnFEM("Table 5 (3D)", cg)
 	p := fem.NewPoisson3D(res)
 	uNN := tr.Predict(Table3Omega, res)
 	return []CompareRow{compare("3D Half-V", Table3Omega, uNN, uFEM,
-		p.Energy(uNN, nuField), p.Energy(uFEM, nuField))}
+		p.Energy(uNN, nuField), p.Energy(uFEM, nuField), cg)}
 }
 
-func compare(label string, w field.Omega, uNN, uFEM *tensor.Tensor, nnLoss, femLoss float64) CompareRow {
+func compare(label string, w field.Omega, uNN, uFEM *tensor.Tensor, nnLoss, femLoss float64, cg sparse.CGResult) CompareRow {
 	diff := uNN.Clone()
 	diff.Sub(uFEM)
 	return CompareRow{
-		Label:   label,
-		Omega:   w,
-		RMSE:    uNN.RMSE(uFEM),
-		MaxErr:  diff.AbsMax(),
-		RelL2:   diff.Norm2() / uFEM.Norm2(),
-		NNLoss:  nnLoss,
-		FEMLoss: femLoss,
+		Label:        label,
+		Omega:        w,
+		RMSE:         uNN.RMSE(uFEM),
+		MaxErr:       diff.AbsMax(),
+		RelL2:        diff.Norm2() / uFEM.Norm2(),
+		NNLoss:       nnLoss,
+		FEMLoss:      femLoss,
+		FEMIters:     cg.Iterations,
+		FEMConverged: cg.Converged,
 	}
 }
 
@@ -127,12 +148,16 @@ func compare(label string, w field.Omega, uNN, uFEM *tensor.Tensor, nnLoss, femL
 func FormatCompare(caption string, rows []CompareRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", caption)
-	fmt.Fprintf(&b, "%-14s %-34s %-10s %-10s %-10s %-11s %-11s\n",
-		"case", "omega", "RMSE", "max|err|", "rel L2", "J(u_NN)", "J(u_FEM)")
+	fmt.Fprintf(&b, "%-14s %-34s %-10s %-10s %-10s %-11s %-11s %-9s\n",
+		"case", "omega", "RMSE", "max|err|", "rel L2", "J(u_NN)", "J(u_FEM)", "FEM its")
 	for _, r := range rows {
 		om := fmt.Sprintf("(%.3f, %.3f, %.3f, %.3f)", r.Omega[0], r.Omega[1], r.Omega[2], r.Omega[3])
-		fmt.Fprintf(&b, "%-14s %-34s %-10.5f %-10.5f %-10.5f %-11.6f %-11.6f\n",
-			r.Label, om, r.RMSE, r.MaxErr, r.RelL2, r.NNLoss, r.FEMLoss)
+		its := fmt.Sprintf("%d", r.FEMIters)
+		if !r.FEMConverged {
+			its += "!" // unconverged reference: the row measures drift
+		}
+		fmt.Fprintf(&b, "%-14s %-34s %-10.5f %-10.5f %-10.5f %-11.6f %-11.6f %-9s\n",
+			r.Label, om, r.RMSE, r.MaxErr, r.RelL2, r.NNLoss, r.FEMLoss, its)
 	}
 	return b.String()
 }

@@ -3,9 +3,36 @@ package field
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"mgdiffnet/internal/tensor"
 )
+
+// xiTabPool recycles the per-axis ξ tables of the rasterizers so the
+// serving hot path and the training batch builder stay allocation-free
+// in steady state (PR 4's guarantee).
+var xiTabPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// xiTables returns two ξ tables of OmegaDim·res entries each from the
+// pool: wx with ω_i·λ_i folded in for the x axis, xt plain. put returns
+// the backing storage to the pool.
+func xiTables(omega Omega, res int, h float64) (wx, xt []float64, put func()) {
+	bp := xiTabPool.Get().(*[]float64)
+	need := 2 * OmegaDim * res
+	if cap(*bp) < need {
+		*bp = make([]float64, need)
+	}
+	buf := (*bp)[:need]
+	wx, xt = buf[:OmegaDim*res], buf[OmegaDim*res:]
+	for i := 0; i < OmegaDim; i++ {
+		for t := 0; t < res; t++ {
+			v := xi(i, float64(t)*h)
+			wx[i*res+t] = omega[i] * Lambdas[i] * v
+			xt[i*res+t] = v
+		}
+	}
+	return wx, xt, func() { xiTabPool.Put(bp) }
+}
 
 // The paper's fixed spectral data for Eq. 10: a = (1.72, 4.05, 6.85, 9.82),
 // λ_i = 1/(1+0.25 a_i²), and the separable eigenfunction
@@ -74,16 +101,30 @@ func Raster2D(omega Omega, res int) *tensor.Tensor {
 // Raster2DInto rasterizes like Raster2D directly into dst (row-major
 // [y][x], length res²), letting batch builders fill slices of a reused
 // tensor without intermediate copies.
+//
+// The eigenfunctions are separable, so ξ_i is tabulated once per axis
+// (O(res) trig calls) instead of being re-evaluated at every grid point
+// (O(res²)); per-term multiplication and summation association matches
+// Eval2D exactly, so the result is bit-identical to the pointwise path —
+// the serving cache and the distributed trainer's replica-sync proofs
+// both rely on rasterization being a pure function of (ω, res).
 func Raster2DInto(dst []float64, omega Omega, res int) {
 	if len(dst) != res*res {
 		panic(fmt.Sprintf("field: Raster2DInto needs %d elements, got %d", res*res, len(dst)))
 	}
 	h := 1.0 / float64(res-1)
+	// wx folds ω_i·λ_i into the x-axis table so the inner loop keeps the
+	// ((ω·λ)·ξx)·ξy association of Eval2D; xy is the plain y-axis table.
+	wx, xy, put := xiTables(omega, res, h)
+	defer put()
 	tensor.ParallelFor(res, func(iy int) {
-		y := float64(iy) * h
 		row := iy * res
 		for ix := 0; ix < res; ix++ {
-			dst[row+ix] = Eval2D(omega, float64(ix)*h, y)
+			s := 0.0
+			for i := 0; i < OmegaDim; i++ {
+				s += wx[i*res+ix] * xy[i*res+iy]
+			}
+			dst[row+ix] = math.Exp(s)
 		}
 	})
 }
@@ -100,22 +141,42 @@ func Raster3D(omega Omega, res int) *tensor.Tensor {
 }
 
 // Raster3DInto rasterizes like Raster3D directly into dst (row-major
-// [z][y][x], length res³).
+// [z][y][x], length res³), with the same per-axis ξ tabulation — and the
+// same bit-identical-to-Eval3D contract — as Raster2DInto.
 func Raster3DInto(dst []float64, omega Omega, res int) {
 	if len(dst) != res*res*res {
 		panic(fmt.Sprintf("field: Raster3DInto needs %d elements, got %d", res*res*res, len(dst)))
 	}
 	h := 1.0 / float64(res-1)
+	wx, xt, put := xiTables(omega, res, h)
+	defer put()
 	tensor.ParallelFor(res, func(iz int) {
-		z := float64(iz) * h
 		for iy := 0; iy < res; iy++ {
-			y := float64(iy) * h
 			row := (iz*res + iy) * res
 			for ix := 0; ix < res; ix++ {
-				dst[row+ix] = Eval3D(omega, float64(ix)*h, y, z)
+				s := 0.0
+				for i := 0; i < OmegaDim; i++ {
+					s += wx[i*res+ix] * xt[i*res+iy] * xt[i*res+iz]
+				}
+				dst[row+ix] = math.Exp(s)
 			}
 		}
 	})
+}
+
+// RasterInto rasterizes omega at res into dst (length res^dim) for the
+// given dimensionality, dispatching to Raster2DInto or Raster3DInto.
+// Dimension-generic consumers (the serving engine's batch builder) use it
+// to fill slices of a reused batch tensor without per-request allocation.
+func RasterInto(dst []float64, omega Omega, dim, res int) {
+	switch dim {
+	case 2:
+		Raster2DInto(dst, omega, res)
+	case 3:
+		Raster3DInto(dst, omega, res)
+	default:
+		panic(fmt.Sprintf("field: RasterInto dim must be 2 or 3, got %d", dim))
+	}
 }
 
 // SampleOmegas draws n parameter vectors from [-3,3]^4 with the Sobol

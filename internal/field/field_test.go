@@ -271,3 +271,32 @@ func TestBatchIntoMatchesBatchAndReuses(t *testing.T) {
 		}
 	}
 }
+
+// TestRasterMatchesEvalBitwise pins the tabulated rasterizers to the
+// pointwise evaluators bit-for-bit: caching, dedup and replica-sync
+// proofs all rely on rasterization being a pure function of (ω, res).
+func TestRasterMatchesEvalBitwise(t *testing.T) {
+	w := Omega{0.91, -2.17, 1.33, -0.42}
+	const res = 9
+	h := 1.0 / float64(res-1)
+	f2 := Raster2D(w, res)
+	for iy := 0; iy < res; iy++ {
+		for ix := 0; ix < res; ix++ {
+			if got, want := f2.At(iy, ix), Eval2D(w, float64(ix)*h, float64(iy)*h); got != want {
+				t.Fatalf("2D (%d,%d): raster %v, eval %v", iy, ix, got, want)
+			}
+		}
+	}
+	f3 := Raster3D(w, res)
+	for iz := 0; iz < res; iz++ {
+		for iy := 0; iy < res; iy++ {
+			for ix := 0; ix < res; ix++ {
+				got := f3.At(iz, iy, ix)
+				want := Eval3D(w, float64(ix)*h, float64(iy)*h, float64(iz)*h)
+				if got != want {
+					t.Fatalf("3D (%d,%d,%d): raster %v, eval %v", iz, iy, ix, got, want)
+				}
+			}
+		}
+	}
+}

@@ -9,6 +9,15 @@ import (
 
 // Conv2D is a 2D cross-correlation layer over NCHW tensors with zero
 // padding. Weight layout is [Cout, Cin, KH, KW].
+//
+// Like Conv3D, the layer selects its execution strategy through Algo:
+// with ConvAuto (the default) Forward and Backward lower to im2col+GEMM —
+// which beats the direct loops at every U-Net level size on this
+// substrate — while ConvDirect pins the straightforward loops, kept as
+// the correctness oracle. Because the GEMM accumulates each output
+// element's terms in a fixed ascending order (see tensor.MatMulInto),
+// per-sample results are bit-identical regardless of batch composition,
+// which the serving engine's coalescing relies on.
 type Conv2D struct {
 	InChannels  int
 	OutChannels int
@@ -16,12 +25,27 @@ type Conv2D struct {
 	Stride      int
 	Pad         int
 
+	// Algo selects the execution strategy; the zero value is ConvAuto.
+	Algo ConvAlgo
+
 	W *Param
 	B *Param
 
 	in       *tensor.Tensor
 	fwd, bwd outBuf
+
+	// Persistent GEMM scratch (column matrix, product, gradient columns)
+	// grown on demand and reused across passes like Conv3D's, plus cached
+	// weight/weight-gradient matrix views re-pointed on arena rebases.
+	colsBuf, prodBuf, gradColsBuf gemmBuf
+	wMatView, gwView              *tensor.Tensor
 }
+
+// useGEMM decides whether Forward/Backward lower to im2col+GEMM. The
+// lowering wins at every benchmarked size in 2D (unlike 3D, where tiny
+// volumes favor the direct loops), so ConvAuto always lowers; ConvDirect
+// is the explicit opt-out.
+func (c *Conv2D) useGEMM() bool { return c.Algo != ConvDirect }
 
 func (c *Conv2D) setBufferReuse(on bool) { c.fwd.on, c.bwd.on = on, on }
 
@@ -70,6 +94,9 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		c.in = x
 	}
+	if c.useGEMM() {
+		return c.gemmForward(x, n, ho, wo)
+	}
 	out := c.fwd.get(n, c.OutChannels, ho, wo)
 	k, s, p := c.Kernel, c.Stride, c.Pad
 	wd, xd, od, bd := c.W.Data.Data, x.Data, out.Data, c.B.Data.Data
@@ -111,6 +138,9 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.useGEMM() {
+		return c.gemmBackward(c.in, grad)
+	}
 	x := c.in
 	n, ci, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	ho, wo := grad.Dim(2), grad.Dim(3)
@@ -213,6 +243,11 @@ func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
 // ConvTranspose2D is a 2D transposed convolution (fractionally strided
 // convolution) over NCHW tensors. Weight layout is [Cin, Cout, KH, KW];
 // the output extent for input n is (n-1)*stride - 2*pad + kernel.
+//
+// Like Conv2D, Algo selects the execution strategy: ConvAuto (default)
+// lowers to the GEMM + col2im scatter formulation, ConvDirect pins the
+// gather loops kept as the oracle. The GEMM path is bit-identical across
+// batch compositions, matching the serving engine's coalescing contract.
 type ConvTranspose2D struct {
 	InChannels  int
 	OutChannels int
@@ -220,12 +255,21 @@ type ConvTranspose2D struct {
 	Stride      int
 	Pad         int
 
+	// Algo selects the execution strategy; the zero value is ConvAuto.
+	Algo ConvAlgo
+
 	W *Param
 	B *Param
 
 	in       *tensor.Tensor
 	fwd, bwd outBuf
+
+	colsBuf, matBuf  gemmBuf
+	wMatView, gwView *tensor.Tensor
 }
+
+// useGEMM mirrors Conv2D: the lowering wins at every benchmarked size.
+func (c *ConvTranspose2D) useGEMM() bool { return c.Algo != ConvDirect }
 
 func (c *ConvTranspose2D) setBufferReuse(on bool) { c.fwd.on, c.bwd.on = on, on }
 
@@ -257,6 +301,9 @@ func (c *ConvTranspose2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	ho, wo := c.OutSize(h), c.OutSize(w)
 	if train {
 		c.in = x
+	}
+	if c.useGEMM() {
+		return c.gemmForward(x, n, ho, wo)
 	}
 	out := c.fwd.get(n, c.OutChannels, ho, wo)
 	k, s, p := c.Kernel, c.Stride, c.Pad
@@ -306,6 +353,9 @@ func (c *ConvTranspose2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (c *ConvTranspose2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.useGEMM() {
+		return c.gemmBackward(c.in, grad)
+	}
 	x := c.in
 	n, ci, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	ho, wo := grad.Dim(2), grad.Dim(3)

@@ -58,7 +58,7 @@ type Conv3D struct {
 
 	in *tensor.Tensor
 	// GEMM-lowering scratch, reused across passes (see im2colSlab).
-	colsBuf, prodBuf, gradColsBuf *tensor.Tensor
+	colsBuf, prodBuf, gradColsBuf gemmBuf
 	fwd, bwd, gwBuf               outBuf
 }
 
@@ -72,19 +72,8 @@ func (c *Conv3D) setBufferReuse(on bool) { c.fwd.on, c.bwd.on, c.gwBuf.on = on, 
 // when the caller overwrites every element before reading (skipping a
 // multi-MiB memset per slab); accumulation targets of the *Into GEMM
 // kernels and the padding-skipping im2col fill need zero=true.
-func (c *Conv3D) scratch(buf **tensor.Tensor, rows, cols int, zero bool) *tensor.Tensor {
-	need := rows * cols
-	t := *buf
-	if t == nil || t.Len() < need {
-		t = tensor.New(rows, cols)
-		*buf = t
-		return t // fresh allocations are already zero
-	}
-	s := tensor.FromSlice(t.Data[:need], rows, cols)
-	if zero {
-		s.Zero()
-	}
-	return s
+func (c *Conv3D) scratch(buf *gemmBuf, rows, cols int, zero bool) *tensor.Tensor {
+	return buf.get(rows, cols, zero)
 }
 
 // NewConv3D builds a cubic-kernel 3D convolution with He initialization.

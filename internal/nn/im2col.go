@@ -2,6 +2,46 @@ package nn
 
 import "mgdiffnet/internal/tensor"
 
+// gemmBuf is a persistently held scratch matrix for the GEMM convolution
+// lowerings: backing storage grown on demand plus a cached shaped view,
+// so steady-state passes with stable shapes allocate nothing.
+type gemmBuf struct {
+	data []float64
+	view *tensor.Tensor
+}
+
+// get returns a [rows, cols] view over the scratch. Fresh storage is
+// already zero; a reused view is zeroed on request. Callers that pass
+// zero=false must overwrite every element.
+func (b *gemmBuf) get(rows, cols int, zero bool) *tensor.Tensor {
+	need := rows * cols
+	fresh := false
+	if cap(b.data) < need {
+		b.data = make([]float64, need)
+		b.view = nil
+		fresh = true
+	}
+	if b.view == nil || !b.view.ShapeIs(rows, cols) {
+		b.view = tensor.FromSlice(b.data[:need], rows, cols)
+	}
+	if zero && !fresh {
+		b.view.Zero()
+	}
+	return b.view
+}
+
+// paramMat returns a cached [rows, cols] matrix view over data,
+// re-pointing the cached view when the backing slice moved (nn.Arena
+// re-bases parameter storage after construction).
+func paramMat(view **tensor.Tensor, data []float64, rows, cols int) *tensor.Tensor {
+	if *view == nil {
+		*view = tensor.FromSlice(data, rows, cols)
+	} else {
+		(*view).Rebase(data)
+	}
+	return *view
+}
+
 // Im2Col2D unrolls the sliding windows of an NCHW input into a
 // [Cin·K·K, N·Ho·Wo] matrix so that convolution becomes one GEMM — the
 // lowering used by most production deep-learning engines. Out-of-bounds
@@ -11,6 +51,15 @@ func Im2Col2D(x *tensor.Tensor, k, stride, pad int) *tensor.Tensor {
 	ho := (h+2*pad-k)/stride + 1
 	wo := (w+2*pad-k)/stride + 1
 	cols := tensor.New(ci*k*k, n*ho*wo)
+	im2col2DInto(cols, x, k, stride, pad)
+	return cols
+}
+
+// im2col2DInto fills a pre-zeroed [Cin·K·K, N·Ho·Wo] matrix.
+func im2col2DInto(cols, x *tensor.Tensor, k, stride, pad int) {
+	n, ci, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	ho := (h+2*pad-k)/stride + 1
+	wo := (w+2*pad-k)/stride + 1
 	cd, xd := cols.Data, x.Data
 	colW := n * ho * wo
 
@@ -39,7 +88,6 @@ func Im2Col2D(x *tensor.Tensor, k, stride, pad int) *tensor.Tensor {
 			}
 		}
 	})
-	return cols
 }
 
 // Col2Im2D is the adjoint of Im2Col2D: it scatters a [Cin·K·K, N·Ho·Wo]
@@ -47,9 +95,16 @@ func Im2Col2D(x *tensor.Tensor, k, stride, pad int) *tensor.Tensor {
 // contributions. It turns the GEMM gradient Wᵀ·gradOut into the input
 // gradient of the convolution.
 func Col2Im2D(cols *tensor.Tensor, n, ci, h, w, k, stride, pad int) *tensor.Tensor {
+	out := tensor.New(n, ci, h, w)
+	col2im2DInto(out, cols, k, stride, pad)
+	return out
+}
+
+// col2im2DInto scatter-accumulates into a pre-zeroed NCHW tensor.
+func col2im2DInto(out, cols *tensor.Tensor, k, stride, pad int) {
+	n, ci, h, w := out.Dim(0), out.Dim(1), out.Dim(2), out.Dim(3)
 	ho := (h+2*pad-k)/stride + 1
 	wo := (w+2*pad-k)/stride + 1
-	out := tensor.New(n, ci, h, w)
 	cd, od := cols.Data, out.Data
 	colW := n * ho * wo
 	// Parallel over channels: each channel's k·k rows scatter only into
@@ -80,22 +135,23 @@ func Col2Im2D(cols *tensor.Tensor, n, ci, h, w, k, stride, pad int) *tensor.Tens
 			}
 		}
 	})
-	return out
 }
 
-// Conv2DGEMMBackward computes the convolution gradients by GEMM lowering:
+// gemmBackward computes the convolution gradients by GEMM lowering:
 // gradW = gradOut·colsᵀ, gradB = row sums, gradX = col2im(Wᵀ·gradOut). It
-// accumulates into the layer's parameter gradients exactly like
-// Conv2D.Backward and returns the input gradient.
-func Conv2DGEMMBackward(c *Conv2D, x, gradOut *tensor.Tensor) *tensor.Tensor {
+// accumulates into the layer's parameter gradients exactly like the
+// direct Backward, reuses the layer's persistent scratch, and returns the
+// input gradient.
+func (c *Conv2D) gemmBackward(x, gradOut *tensor.Tensor) *tensor.Tensor {
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	k, s, p := c.Kernel, c.Stride, c.Pad
 	ho, wo := gradOut.Dim(2), gradOut.Dim(3)
 	ci, co := c.InChannels, c.OutChannels
 	colW := n * ho * wo
 
-	// Reorder gradOut from [N, Cout, Ho, Wo] into [Cout, N·Ho·Wo].
-	gMat := tensor.New(co, colW)
+	// Reorder gradOut from [N, Cout, Ho, Wo] into [Cout, N·Ho·Wo]. The
+	// matrix is fully overwritten, so no zeroing is needed.
+	gMat := c.prodBuf.get(co, colW, false)
 	for bn := 0; bn < n; bn++ {
 		for oc := 0; oc < co; oc++ {
 			src := (bn*co + oc) * ho * wo
@@ -113,34 +169,42 @@ func Conv2DGEMMBackward(c *Conv2D, x, gradOut *tensor.Tensor) *tensor.Tensor {
 		c.B.Grad.Data[oc] += sum
 	}
 
-	cols := Im2Col2D(x, k, s, p)
-	// gradW = gMat · colsᵀ and gradX = col2im(Wᵀ · gMat), through the
+	cols := c.colsBuf.get(ci*k*k, colW, true)
+	im2col2DInto(cols, x, k, s, p)
+	// gradW accumulates in place: gw += gMat · colsᵀ, through the
 	// transpose-free kernels the 3D lowering uses.
-	gw := tensor.MatMulTransB(gMat, cols)
-	c.W.Grad.Add(gw.Reshape(co, ci, k, k))
+	gw := paramMat(&c.gwView, c.W.Grad.Data, co, ci*k*k)
+	tensor.MatMulTransBInto(gMat, cols, gw)
 
-	wMat := c.W.Data.Reshape(co, ci*k*k)
-	gCols := tensor.MatMulTransA(wMat, gMat)
-	return Col2Im2D(gCols, n, ci, h, w, k, s, p)
+	wMat := paramMat(&c.wMatView, c.W.Data.Data, co, ci*k*k)
+	gCols := c.gradColsBuf.get(ci*k*k, colW, true)
+	tensor.MatMulTransAInto(wMat, gMat, gCols)
+	gin := c.bwd.getZero(n, ci, h, w)
+	col2im2DInto(gin, gCols, k, s, p)
+	return gin
 }
 
-// Conv2DGEMM computes the same cross-correlation as Conv2D.Forward by
-// lowering to im2col + MatMul. It shares the layer's weights and biases
-// and exists for the direct-vs-GEMM ablation bench; results are identical
-// up to floating-point summation order.
-func Conv2DGEMM(c *Conv2D, x *tensor.Tensor) *tensor.Tensor {
-	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+// Conv2DGEMMBackward exposes gemmBackward for the lowering ablation bench.
+func Conv2DGEMMBackward(c *Conv2D, x, gradOut *tensor.Tensor) *tensor.Tensor {
+	return c.gemmBackward(x, gradOut)
+}
+
+// gemmForward computes the same cross-correlation as the direct loops by
+// lowering to im2col + MatMul, reusing the layer's persistent scratch.
+// Each output element accumulates its terms in a fixed ascending order
+// (tensor.MatMulInto), so per-sample results do not depend on the batch.
+func (c *Conv2D) gemmForward(x *tensor.Tensor, n, ho, wo int) *tensor.Tensor {
 	k, s, p := c.Kernel, c.Stride, c.Pad
-	ho := (h+2*p-k)/s + 1
-	wo := (w+2*p-k)/s + 1
-
-	cols := Im2Col2D(x, k, s, p)
-	wMat := c.W.Data.Reshape(c.OutChannels, c.InChannels*k*k)
-	prod := tensor.MatMul(wMat, cols) // [Cout, N·Ho·Wo]
-
-	out := tensor.New(n, c.OutChannels, ho, wo)
-	od, pd, bd := out.Data, prod.Data, c.B.Data.Data
 	colW := n * ho * wo
+
+	cols := c.colsBuf.get(c.InChannels*k*k, colW, true)
+	im2col2DInto(cols, x, k, s, p)
+	wMat := paramMat(&c.wMatView, c.W.Data.Data, c.OutChannels, c.InChannels*k*k)
+	prod := c.prodBuf.get(c.OutChannels, colW, true)
+	tensor.MatMulInto(wMat, cols, prod) // [Cout, N·Ho·Wo]
+
+	out := c.fwd.get(n, c.OutChannels, ho, wo)
+	od, pd, bd := out.Data, prod.Data, c.B.Data.Data
 	tensor.ParallelFor(c.OutChannels, func(oc int) {
 		rowBase := oc * colW
 		for bn := 0; bn < n; bn++ {
@@ -152,4 +216,105 @@ func Conv2DGEMM(c *Conv2D, x *tensor.Tensor) *tensor.Tensor {
 		}
 	})
 	return out
+}
+
+// Conv2DGEMM exposes gemmForward for the direct-vs-GEMM ablation bench.
+// It shares the layer's weights, biases and scratch; results are
+// identical to the direct loops up to floating-point summation order.
+func Conv2DGEMM(c *Conv2D, x *tensor.Tensor) *tensor.Tensor {
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	return c.gemmForward(x, n, c.OutSize(h), c.OutSize(w))
+}
+
+// chanMajor reorders an [N, C, R] tensor (R = flattened spatial extent)
+// into the [C, N·R] matrix layout the GEMM kernels contract over.
+func chanMajor(dst *tensor.Tensor, src []float64, n, c, r int) {
+	for bn := 0; bn < n; bn++ {
+		for ch := 0; ch < c; ch++ {
+			s := (bn*c + ch) * r
+			d := ch*(n*r) + bn*r
+			copy(dst.Data[d:d+r], src[s:s+r])
+		}
+	}
+}
+
+// gemmForward computes the transposed convolution as the adjoint of the
+// im2col lowering: cols = W̃ᵀ·x̃ followed by a col2im scatter onto the
+// (larger) output grid. The transposed convolution is exactly the adjoint
+// of a (k, s, p) convolution from the output grid back to the input grid,
+// so the same col2im kernel serves both backprop and this forward.
+func (c *ConvTranspose2D) gemmForward(x *tensor.Tensor, n, ho, wo int) *tensor.Tensor {
+	k, s, p := c.Kernel, c.Stride, c.Pad
+	ci, co := c.InChannels, c.OutChannels
+	h, w := x.Dim(2), x.Dim(3)
+	hw := h * w
+
+	xMat := c.matBuf.get(ci, n*hw, false) // fully overwritten
+	chanMajor(xMat, x.Data, n, ci, hw)
+	wMat := paramMat(&c.wMatView, c.W.Data.Data, ci, co*k*k)
+	cols := c.colsBuf.get(co*k*k, n*hw, true)
+	tensor.MatMulTransAInto(wMat, xMat, cols) // [Co·K·K, N·H·W]
+
+	out := c.fwd.getZero(n, co, ho, wo)
+	col2im2DInto(out, cols, k, s, p)
+	od, bd := out.Data, c.B.Data.Data
+	tensor.ParallelFor(co, func(oc int) {
+		for bn := 0; bn < n; bn++ {
+			base := (bn*co + oc) * ho * wo
+			for i := 0; i < ho*wo; i++ {
+				od[base+i] += bd[oc]
+			}
+		}
+	})
+	return out
+}
+
+// gemmBackward computes the transposed convolution gradients by the same
+// lowering: gradX = W̃·im2col(gradOut), gradW += x̃·im2col(gradOut)ᵀ,
+// gradB = per-channel sums.
+func (c *ConvTranspose2D) gemmBackward(x, gradOut *tensor.Tensor) *tensor.Tensor {
+	k, s, p := c.Kernel, c.Stride, c.Pad
+	ci, co := c.InChannels, c.OutChannels
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	ho, wo := gradOut.Dim(2), gradOut.Dim(3)
+	hw := h * w
+
+	// Bias gradient.
+	gd := gradOut.Data
+	for oc := 0; oc < co; oc++ {
+		sum := 0.0
+		for bn := 0; bn < n; bn++ {
+			base := (bn*co + oc) * ho * wo
+			for i := 0; i < ho*wo; i++ {
+				sum += gd[base+i]
+			}
+		}
+		c.B.Grad.Data[oc] += sum
+	}
+
+	// im2col over gradOut with the adjoint (k, s, p) geometry yields the
+	// [Co·K·K, N·H·W] matrix both remaining gradients contract against.
+	cols := c.colsBuf.get(co*k*k, n*hw, true)
+	im2col2DInto(cols, gradOut, k, s, p)
+
+	// gradX = W̃ · cols, reordered back to NCHW.
+	wMat := paramMat(&c.wMatView, c.W.Data.Data, ci, co*k*k)
+	ginMat := c.matBuf.get(ci, n*hw, true)
+	tensor.MatMulInto(wMat, cols, ginMat)
+	gin := c.bwd.get(n, ci, h, w)
+	gi := gin.Data
+	for bn := 0; bn < n; bn++ {
+		for ch := 0; ch < ci; ch++ {
+			src := ch*(n*hw) + bn*hw
+			dst := (bn*ci + ch) * hw
+			copy(gi[dst:dst+hw], ginMat.Data[src:src+hw])
+		}
+	}
+
+	// gradW += x̃ · colsᵀ (matBuf is free again after the reorder above).
+	xMat := c.matBuf.get(ci, n*hw, false)
+	chanMajor(xMat, x.Data, n, ci, hw)
+	gw := paramMat(&c.gwView, c.W.Grad.Data, ci, co*k*k)
+	tensor.MatMulTransBInto(xMat, cols, gw)
+	return gin
 }

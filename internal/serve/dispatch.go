@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"time"
+
+	"mgdiffnet/internal/field"
+	"mgdiffnet/internal/tensor"
+)
+
+// dispatch is the micro-batching loop: it accumulates queued flights into
+// per-resolution groups and launches a group when it reaches MaxBatch or
+// when the batch window (opened by the first pending request) elapses.
+// Launching blocks while every replica is busy — natural backpressure that
+// lets the queue keep filling, so saturation produces full batches.
+func (e *Engine) dispatch() {
+	defer e.wg.Done()
+	groups := map[int][]*flight{}
+	var timer *time.Timer
+	var window <-chan time.Time
+	pending := 0
+
+	flushAll := func() {
+		for res, fs := range groups {
+			delete(groups, res)
+			e.launch(res, fs)
+		}
+		pending = 0
+		if timer != nil {
+			timer.Stop()
+			timer = nil
+		}
+		window = nil
+	}
+
+	for {
+		select {
+		case f := <-e.queue:
+			g := append(groups[f.key.Res], f)
+			pending++
+			if len(g) >= e.cfg.MaxBatch {
+				delete(groups, f.key.Res)
+				pending -= len(g)
+				e.launch(f.key.Res, g)
+				if pending == 0 && timer != nil {
+					timer.Stop()
+					timer = nil
+					window = nil
+				}
+				continue
+			}
+			groups[f.key.Res] = g
+			if e.cfg.BatchWindow <= 0 {
+				// Greedy mode: coalesce only what is already queued.
+				e.drainQueued(groups, &pending)
+				flushAll()
+				continue
+			}
+			if window == nil {
+				timer = time.NewTimer(e.cfg.BatchWindow)
+				window = timer.C
+			}
+		case <-window:
+			timer = nil
+			window = nil
+			flushAll()
+		case <-e.quit:
+			// Close waited for every Solve to return before signalling
+			// quit, so the queue and groups are empty here; flush anyway
+			// for robustness.
+			flushAll()
+			return
+		}
+	}
+}
+
+// drainQueued moves every already-queued flight into groups without
+// blocking, launching any group that fills to MaxBatch.
+func (e *Engine) drainQueued(groups map[int][]*flight, pending *int) {
+	for {
+		select {
+		case f := <-e.queue:
+			g := append(groups[f.key.Res], f)
+			*pending++
+			if len(g) >= e.cfg.MaxBatch {
+				delete(groups, f.key.Res)
+				*pending -= len(g)
+				e.launch(f.key.Res, g)
+				continue
+			}
+			groups[f.key.Res] = g
+		default:
+			return
+		}
+	}
+}
+
+// launch takes a replica from the pool (blocking until one frees up) and
+// runs the batch on it asynchronously, so the dispatcher can keep
+// accumulating the next batch meanwhile.
+func (e *Engine) launch(res int, fs []*flight) {
+	rep := <-e.replicas
+	e.wg.Add(1)
+	go e.runBatch(rep, res, fs)
+}
+
+// runBatch executes one coalesced forward pass: rasterize every ω into the
+// replica's reused batch tensor, run the network, then copy each sample
+// out, impose boundary conditions, publish to the cache and wake waiters.
+func (e *Engine) runBatch(rep *replica, res int, fs []*flight) {
+	defer e.wg.Done()
+	n := len(fs)
+	per := e.voxels(res)
+	shape := e.inputShape(n, res)
+	if rep.in == nil || !rep.in.ShapeIs(shape...) {
+		rep.in = tensor.New(shape...)
+	}
+	for i, f := range fs {
+		field.RasterInto(rep.in.Data[i*per:(i+1)*per], f.key.Omega, e.dim, res)
+	}
+	y := rep.net.Forward(rep.in, false)
+	for i, f := range fs {
+		u := make([]float64, per)
+		copy(u, y.Data[i*per:(i+1)*per])
+		e.applyBC(u, res)
+		f.u = u
+		f.batch = n
+	}
+	// The forward output lives in the replica's reuse buffers; everything
+	// needed has been copied out, so the replica can serve the next batch.
+	e.replicas <- rep
+
+	e.stats.Lock()
+	e.stats.forwards++
+	e.stats.batched += uint64(n)
+	e.stats.Unlock()
+	e.finish(fs)
+}
+
+// runSlab answers one large request through the slab-parallel spatial
+// inference path, reusing the engine's slab input/output scratch.
+func (e *Engine) runSlab(f *flight) {
+	res := f.key.Res
+	per := e.voxels(res)
+
+	e.slabMu.Lock()
+	shape := e.inputShape(1, res)
+	if e.slabIn == nil || !e.slabIn.ShapeIs(shape...) {
+		e.slabIn = tensor.New(shape...)
+	}
+	field.RasterInto(e.slabIn.Data, f.key.Omega, e.dim, res)
+	out, err := e.slab.ForwardInto(e.slabOut, e.slabIn)
+	if err != nil {
+		e.slabMu.Unlock()
+		f.err = err
+		e.finish([]*flight{f})
+		return
+	}
+	e.slabOut = out
+	u := make([]float64, per)
+	copy(u, out.Data)
+	e.slabMu.Unlock()
+
+	e.applyBC(u, res)
+	f.u = u
+	f.batch = 1
+	f.slab = true
+
+	e.stats.Lock()
+	e.stats.forwards++
+	e.stats.slabbed++
+	e.stats.Unlock()
+	e.finish([]*flight{f})
+}
+
+// finish publishes completed flights: insert into the cache, clear the
+// in-flight table, and wake every waiter.
+func (e *Engine) finish(fs []*flight) {
+	e.mu.Lock()
+	for _, f := range fs {
+		if f.err == nil && e.cache != nil {
+			e.cache.put(f.key, f.u)
+		}
+		delete(e.inflight, f.key)
+	}
+	e.mu.Unlock()
+	for _, f := range fs {
+		close(f.done)
+	}
+}

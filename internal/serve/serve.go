@@ -1,0 +1,418 @@
+// Package serve is the throughput-oriented inference layer in front of a
+// trained MGDiffNet generator: the paper's §5 payoff — one trained network
+// replacing thousands of per-ω FEM solves — turned into a serving
+// subsystem. An Engine owns a pool of network replicas and answers
+// point queries ("the solution field for this ω at this resolution") with
+// three mechanisms stacked in front of the forward pass:
+//
+//   - an ω+resolution-keyed LRU result cache with single-flight
+//     deduplication, so identical queries — common when many users probe
+//     the same design point — cost one forward pass total;
+//   - a micro-batching dispatcher that coalesces single-ω requests
+//     arriving within a latency window into one [N, 1, ...] forward pass,
+//     amortizing per-pass overhead (buffer traffic, layer dispatch, GEMM
+//     setup) across the batch;
+//   - a routing rule that sends very large single requests to the
+//     slab-parallel dist.SpatialInference path instead of the batcher, so
+//     a megavoxel query neither stalls the batch pipeline nor pays for it.
+//
+// Every response is bit-identical to a fresh monolithic
+// net.Forward + boundary imposition on the same input: batching never
+// changes per-sample values (convolutions, batch-norm inference statistics
+// and pointwise activations are sample-independent, and the 3D GEMM
+// lowering selects its kernel from per-sample volume), and the slab path
+// reproduces the monolithic pass by receptive-field-covering halos.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mgdiffnet/internal/dist"
+	"mgdiffnet/internal/fem"
+	"mgdiffnet/internal/field"
+	"mgdiffnet/internal/tensor"
+	"mgdiffnet/internal/unet"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Net is the trained network. The engine clones it per replica; the
+	// original is never used for forward passes and stays caller-owned.
+	Net *unet.UNet
+
+	// Replicas is the number of network replicas answering batched
+	// requests concurrently. Default: GOMAXPROCS, capped at 4.
+	Replicas int
+
+	// MaxBatch is the largest number of coalesced requests per forward
+	// pass. Default 8.
+	MaxBatch int
+
+	// BatchWindow is how long the dispatcher holds the first request of a
+	// batch open for co-arriving requests. Under saturation batches fill
+	// to MaxBatch immediately and the window never elapses; it only costs
+	// latency when traffic is sparse — exactly when latency is cheapest.
+	// Zero or negative coalesces only requests already queued (greedy
+	// drain, no added latency). Default 2ms.
+	BatchWindow time.Duration
+
+	// CacheSize is the LRU result-cache capacity in entries. 0 means the
+	// default (256); negative disables caching.
+	CacheSize int
+
+	// CacheMB bounds the cache payload in megabytes so megavoxel results
+	// cannot pin gigabytes under a generous entry cap; an entry larger
+	// than the whole budget is never cached. 0 means the default (256).
+	CacheMB int
+
+	// SlabVoxels routes a request whose field has at least this many
+	// voxels to the slab-parallel path. 0 means the default (1<<21);
+	// negative disables slab routing.
+	SlabVoxels int
+
+	// SlabWorkers is the slab count of the spatial-inference path.
+	// Default 2.
+	SlabWorkers int
+
+	// WarmRes lists resolutions to warm on startup: each replica runs one
+	// forward pass per listed resolution, so first requests do not pay
+	// cold-allocation or lazy FEM-problem construction costs.
+	WarmRes []int
+}
+
+// Key identifies a query: the diffusivity parameter vector and the grid
+// resolution. Two requests with equal keys have bit-identical answers,
+// which is what makes caching and single-flight dedup sound.
+type Key struct {
+	Omega field.Omega
+	Res   int
+}
+
+// Result is one answered query.
+type Result struct {
+	// U is the BC-imposed solution field, res^dim values in row-major
+	// order. It is a private copy; callers may mutate it freely.
+	U []float64
+	// Res and Dim describe the field layout.
+	Res, Dim int
+	// Cached reports an LRU hit (no forward pass ran for this call).
+	Cached bool
+	// Shared reports single-flight coalescing with an identical in-flight
+	// request (this call waited on another call's forward pass).
+	Shared bool
+	// Batch is the size of the forward batch that computed the value
+	// (1 for the slab path, 0 for cache hits).
+	Batch int
+	// Slab reports that the slab-parallel spatial-inference path answered.
+	Slab bool
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	Requests        uint64  `json:"requests"`
+	CacheHits       uint64  `json:"cache_hits"`
+	SharedInFlight  uint64  `json:"shared_in_flight"`
+	Forwards        uint64  `json:"forwards"`
+	BatchedRequests uint64  `json:"batched_requests"`
+	SlabRequests    uint64  `json:"slab_requests"`
+	CacheEntries    int     `json:"cache_entries"`
+	Replicas        int     `json:"replicas"`
+	MaxBatch        int     `json:"max_batch"`
+	BatchWindowMS   float64 `json:"batch_window_ms"`
+}
+
+// replica is one pool slot: a privately owned network clone with recycled
+// layer buffers plus a reusable batch-input tensor.
+type replica struct {
+	net *unet.UNet
+	in  *tensor.Tensor
+}
+
+// Engine is a concurrent, batched inference server over a trained network.
+// Methods are safe for concurrent use.
+type Engine struct {
+	cfg  Config
+	dim  int
+	meta *unet.UNet // architecture metadata only; never runs forwards
+
+	loss     *fem.EnergyLoss // supplies the cached FEM problems for ApplyBC
+	queue    chan *flight
+	replicas chan *replica
+	slab     *dist.SpatialInference
+	slabMu   sync.Mutex // guards the slab path's input/output scratch
+	slabIn   *tensor.Tensor
+	slabOut  *tensor.Tensor
+
+	mu       sync.Mutex // guards cache and inflight
+	cache    *lruCache
+	inflight map[Key]*flight
+
+	closeMu sync.RWMutex // held (read) for the duration of every Solve
+	closed  bool
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	stats struct {
+		sync.Mutex
+		requests, cacheHits, shared, forwards, batched, slabbed uint64
+	}
+}
+
+// NewEngine builds and starts an engine. The dispatcher goroutine runs
+// until Close.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("serve: Config.Net is required")
+	}
+	if cfg.Net.Cfg.InChannels != 1 {
+		return nil, fmt.Errorf("serve: engine serves ω-parameterized diffusivity queries and needs a 1-input-channel network, got %d", cfg.Net.Cfg.InChannels)
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = min(runtime.GOMAXPROCS(0), 4)
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 8
+	}
+	if cfg.BatchWindow == 0 {
+		cfg.BatchWindow = 2 * time.Millisecond
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.CacheMB <= 0 {
+		cfg.CacheMB = 256
+	}
+	if cfg.SlabVoxels == 0 {
+		cfg.SlabVoxels = 1 << 21
+	}
+	if cfg.SlabWorkers <= 0 {
+		cfg.SlabWorkers = 2
+	}
+	e := &Engine{
+		cfg:      cfg,
+		dim:      cfg.Net.Cfg.Dim,
+		meta:     cfg.Net,
+		loss:     fem.NewEnergyLoss(cfg.Net.Cfg.Dim),
+		queue:    make(chan *flight, 4*cfg.MaxBatch),
+		replicas: make(chan *replica, cfg.Replicas),
+		inflight: map[Key]*flight{},
+		quit:     make(chan struct{}),
+	}
+	if cfg.CacheSize > 0 {
+		e.cache = newLRUCache(cfg.CacheSize, int64(cfg.CacheMB)<<20)
+	}
+	for i := 0; i < cfg.Replicas; i++ {
+		c := cfg.Net.Clone()
+		// Replicas are engine-owned and results are copied out before the
+		// replica returns to the pool, so recycling layer buffers across
+		// passes is sound and makes steady-state serving allocation-light.
+		c.SetBufferReuse(true)
+		r := &replica{net: c}
+		e.warm(r)
+		e.replicas <- r
+	}
+	if cfg.SlabVoxels > 0 {
+		si, err := dist.NewSpatialInference(cfg.Net, cfg.SlabWorkers, dist.HaloFor(cfg.Net))
+		if err != nil {
+			return nil, fmt.Errorf("serve: slab path: %w", err)
+		}
+		e.slab = si
+	}
+	e.wg.Add(1)
+	go e.dispatch()
+	return e, nil
+}
+
+// warm runs one single-sample forward per configured warm resolution so
+// the replica's reuse buffers, GEMM scratch and the shared FEM problems
+// are built before traffic arrives.
+func (e *Engine) warm(r *replica) {
+	for _, res := range e.cfg.WarmRes {
+		if e.meta.ValidateRes(res) != nil {
+			continue
+		}
+		in := tensor.New(e.inputShape(1, res)...)
+		field.RasterInto(in.Data, field.Omega{}, e.dim, res)
+		r.net.Forward(in, false)
+		e.problemFor(res) // build the BC problem cache entry
+	}
+}
+
+func (e *Engine) inputShape(n, res int) []int {
+	if e.dim == 2 {
+		return []int{n, 1, res, res}
+	}
+	return []int{n, 1, res, res, res}
+}
+
+func (e *Engine) voxels(res int) int {
+	if e.dim == 2 {
+		return res * res
+	}
+	return res * res * res
+}
+
+// problemFor returns the cached FEM problem used for boundary imposition.
+func (e *Engine) problemFor(res int) interface{ ApplyBC(*tensor.Tensor) } {
+	if e.dim == 2 {
+		return e.loss.Problem2DAt(res)
+	}
+	return e.loss.Problem3DAt(res)
+}
+
+// applyBC imposes the exact Dirichlet data on u (length res^dim) in place
+// — Algorithm 1 step 8, the same imposition fem.EnergyLoss.WithBC performs.
+func (e *Engine) applyBC(u []float64, res int) {
+	var view *tensor.Tensor
+	if e.dim == 2 {
+		view = tensor.FromSlice(u, res, res)
+	} else {
+		view = tensor.FromSlice(u, res, res, res)
+	}
+	e.problemFor(res).ApplyBC(view)
+}
+
+// Dim returns the served field dimensionality (2 or 3).
+func (e *Engine) Dim() int { return e.dim }
+
+// ValidateRes reports whether res is a feasible query resolution.
+func (e *Engine) ValidateRes(res int) error { return e.meta.ValidateRes(res) }
+
+// Solve answers one query, blocking until the result is available. The
+// call either hits the cache, joins an identical in-flight query, rides a
+// coalesced batch through a pooled replica, or — for fields of at least
+// SlabVoxels voxels — runs the slab-parallel spatial-inference path.
+func (e *Engine) Solve(w field.Omega, res int) (Result, error) {
+	if err := e.meta.ValidateRes(res); err != nil {
+		return Result{}, err
+	}
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed {
+		return Result{}, fmt.Errorf("serve: engine is closed")
+	}
+	e.stats.Lock()
+	e.stats.requests++
+	e.stats.Unlock()
+
+	key := Key{Omega: w, Res: res}
+	e.mu.Lock()
+	if e.cache != nil {
+		if u, ok := e.cache.get(key); ok {
+			e.mu.Unlock()
+			e.stats.Lock()
+			e.stats.cacheHits++
+			e.stats.Unlock()
+			return Result{U: cloneField(u), Res: res, Dim: e.dim, Cached: true}, nil
+		}
+	}
+	if f, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		<-f.done
+		e.stats.Lock()
+		e.stats.shared++
+		e.stats.Unlock()
+		r, err := f.result(e.dim)
+		r.Shared = true
+		return r, err
+	}
+	f := &flight{key: key, done: make(chan struct{})}
+	e.inflight[key] = f
+	e.mu.Unlock()
+
+	if e.slab != nil && e.voxels(res) >= e.cfg.SlabVoxels && e.slabFits(res) {
+		e.runSlab(f)
+	} else {
+		e.queue <- f
+		<-f.done
+	}
+	return f.result(e.dim)
+}
+
+// slabFits reports whether res satisfies the slab decomposition's
+// divisibility constraints; requests that do not fit fall back to the
+// batched path instead of erroring.
+func (e *Engine) slabFits(res int) bool {
+	w := e.slab.Workers()
+	if w <= 1 {
+		return true
+	}
+	if res%w != 0 {
+		return false
+	}
+	slab := res / w
+	return slab%e.meta.MinInputSize() == 0 && e.slab.Halo() <= slab
+}
+
+// SolveBatch answers a set of same-resolution queries concurrently and
+// returns results in input order. The queries flow through the same cache,
+// dedup and batching machinery as individual Solve calls, so a batch with
+// repeated ω values costs one forward per distinct ω at most.
+func (e *Engine) SolveBatch(ws []field.Omega, res int) ([]Result, error) {
+	out := make([]Result, len(ws))
+	errs := make([]error, len(ws))
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w field.Omega) {
+			defer wg.Done()
+			out[i], errs[i] = e.Solve(w, res)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.stats.Lock()
+	s := Stats{
+		Requests:        e.stats.requests,
+		CacheHits:       e.stats.cacheHits,
+		SharedInFlight:  e.stats.shared,
+		Forwards:        e.stats.forwards,
+		BatchedRequests: e.stats.batched,
+		SlabRequests:    e.stats.slabbed,
+		Replicas:        e.cfg.Replicas,
+		MaxBatch:        e.cfg.MaxBatch,
+		BatchWindowMS:   float64(e.cfg.BatchWindow) / float64(time.Millisecond),
+	}
+	e.stats.Unlock()
+	e.mu.Lock()
+	if e.cache != nil {
+		s.CacheEntries = e.cache.len()
+	}
+	e.mu.Unlock()
+	return s
+}
+
+// Close drains in-flight requests and stops the dispatcher. Solve calls
+// made after Close return an error.
+func (e *Engine) Close() {
+	e.closeMu.Lock()
+	if e.closed {
+		e.closeMu.Unlock()
+		return
+	}
+	e.closed = true
+	e.closeMu.Unlock()
+	// Acquiring the write lock above waited for every in-progress Solve
+	// (each holds the read lock for its full duration), so the queue is
+	// empty and no new flights can start; now stop the dispatcher.
+	close(e.quit)
+	e.wg.Wait()
+}
+
+func cloneField(u []float64) []float64 {
+	c := make([]float64, len(u))
+	copy(c, u)
+	return c
+}

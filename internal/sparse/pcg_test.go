@@ -1,0 +1,185 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+// contrastStencil builds the 1D variable-coefficient diffusion operator
+// A_ii = ν_i + ν_{i+1}, A_{i,i±1} = −ν, for a layered coefficient field
+// alternating between 1 and the given contrast every 17 cells — a sharp
+// high-contrast inclusion pattern like the paper's diffusivity families,
+// condensed to 1D so the test stays milliseconds.
+func contrastStencil(n int, contrast float64) (*CSR, []float64) {
+	nu := make([]float64, n+1)
+	for i := range nu {
+		if (i/17)%2 == 0 {
+			nu[i] = contrast
+		} else {
+			nu[i] = 1
+		}
+	}
+	coo := NewCOO(n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, nu[i]+nu[i+1])
+		if i > 0 {
+			coo.Add(i, i-1, -nu[i])
+		}
+		if i < n-1 {
+			coo.Add(i, i+1, -nu[i+1])
+		}
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(float64(i) * 0.37)
+	}
+	return coo.ToCSR(), b
+}
+
+func residualNorm(a Operator, b, x []float64) float64 {
+	y := make([]float64, a.Size())
+	a.Apply(y, x)
+	s := 0.0
+	for i := range y {
+		d := b[i] - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// oldRecurrencePCG is the pre-fix loop that tested only the recurrence
+// residual, kept here as the regression baseline: on the high-contrast
+// system below it declares convergence while the true residual b − Ax is
+// orders of magnitude above the tolerance.
+func oldRecurrencePCG(a Operator, m Preconditioner, b, x []float64, tol float64, maxIter int) CGResult {
+	n := a.Size()
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	a.Apply(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	m.Precondition(z, r)
+	copy(p, z)
+	rz := dot(r, z)
+	bn := math.Sqrt(dot(b, b))
+	res := CGResult{Residual: math.Sqrt(dot(r, r))}
+	for it := 0; it < maxIter; it++ {
+		a.Apply(ap, p)
+		alpha := rz / dot(p, ap)
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		res.Iterations = it + 1
+		res.Residual = math.Sqrt(dot(r, r))
+		if res.Residual <= tol*bn {
+			res.Converged = true
+			return res
+		}
+		m.Precondition(z, r)
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+		rz = rzNew
+	}
+	return res
+}
+
+// TestPCGTrueResidualOnHighContrast is the regression test for the
+// recurrence-vs-true-residual drift: on a 1e8-contrast layered field the
+// recurrence residual sinks below tol·‖b‖ after a few hundred iterations
+// while the attainable true residual stagnates around 1e-6 — six orders
+// of magnitude above the requested 1e-12. The old loop reported
+// Converged with that bogus residual; the fixed PCG must not, and must
+// report the honest ‖b − Ax‖.
+func TestPCGTrueResidualOnHighContrast(t *testing.T) {
+	const n = 200
+	const tol = 1e-12
+	m, b := contrastStencil(n, 1e8)
+	bn := math.Sqrt(dot(b, b))
+
+	// Regression baseline: confirm this system actually exhibits the
+	// drift (otherwise the test would pass vacuously after refactors).
+	xOld := make([]float64, n)
+	resOld := oldRecurrencePCG(m, NewJacobiPreconditioner(m), b, xOld, tol, 5000)
+	trueOld := residualNorm(m, b, xOld)
+	if !resOld.Converged {
+		t.Fatalf("baseline drifted: recurrence-only PCG no longer 'converges' on this system (%+v)", resOld)
+	}
+	if trueOld <= 100*tol*bn {
+		t.Fatalf("baseline drifted: true residual %g is too close to tol*|b| %g to demonstrate divergence", trueOld, tol*bn)
+	}
+
+	// The fixed solver must refuse to declare convergence it cannot
+	// verify on b − Ax, and must report the true residual.
+	x := make([]float64, n)
+	res := PCG(m, NewJacobiPreconditioner(m), b, x, tol, 5000)
+	trueNew := residualNorm(m, b, x)
+	if res.Converged {
+		t.Fatalf("PCG declared convergence at tol %g but the true residual is %g (tol*|b| = %g)", tol, trueNew, tol*bn)
+	}
+	if rel := math.Abs(res.Residual-trueNew) / trueNew; rel > 1e-6 {
+		t.Fatalf("reported residual %g differs from true residual %g (rel %g)", res.Residual, trueNew, rel)
+	}
+}
+
+// TestCGTrueResidualOnHighContrast extends the regression to plain CG —
+// the solver behind every fem.Solve2D/3D reference field: its Converged
+// flag must also be certified on b − Ax, not the drifting recurrence.
+func TestCGTrueResidualOnHighContrast(t *testing.T) {
+	const n = 200
+	const tol = 1e-13
+	m, b := contrastStencil(n, 1e8)
+	bn := math.Sqrt(dot(b, b))
+
+	x := make([]float64, n)
+	res := CG(m, b, x, tol, 4000)
+	tr := residualNorm(m, b, x)
+	if res.Converged && tr > tol*bn {
+		t.Fatalf("CG declared convergence at tol %g but the true residual is %g (tol*|b| = %g)", tol, tr, tol*bn)
+	}
+	if rel := math.Abs(res.Residual-tr) / tr; rel > 1e-6 {
+		t.Fatalf("reported residual %g differs from true residual %g (rel %g)", res.Residual, tr, rel)
+	}
+}
+
+// TestPCGConvergesAtAttainableTolerance checks the flip side: with a
+// tolerance the system can actually meet, the fixed PCG converges and the
+// certificate is real.
+func TestPCGConvergesAtAttainableTolerance(t *testing.T) {
+	const n = 200
+	const tol = 1e-4
+	m, b := contrastStencil(n, 1e8)
+	bn := math.Sqrt(dot(b, b))
+
+	x := make([]float64, n)
+	res := PCG(m, NewJacobiPreconditioner(m), b, x, tol, 20000)
+	if !res.Converged {
+		t.Fatalf("PCG failed at attainable tol: %+v", res)
+	}
+	if tr := residualNorm(m, b, x); tr > tol*bn {
+		t.Fatalf("convergence certificate is false: true residual %g > tol*|b| %g", tr, tol*bn)
+	}
+}
+
+// TestPCGResidualIsTrueOnMaxIter pins the honest-failure path: when the
+// iteration budget runs out, the reported residual is the explicitly
+// computed b − Ax, not the recurrence value.
+func TestPCGResidualIsTrueOnMaxIter(t *testing.T) {
+	const n = 200
+	m, b := contrastStencil(n, 1e10)
+	x := make([]float64, n)
+	res := PCG(m, NewJacobiPreconditioner(m), b, x, 1e-14, 37) // deliberately tiny budget
+	if res.Converged {
+		t.Fatalf("unexpected convergence: %+v", res)
+	}
+	tr := residualNorm(m, b, x)
+	if rel := math.Abs(res.Residual-tr) / tr; rel > 1e-6 {
+		t.Fatalf("reported residual %g is not the true residual %g", res.Residual, tr)
+	}
+}

@@ -138,6 +138,12 @@ type CGResult struct {
 
 // CG solves A·x = b for symmetric positive-definite A, starting from the
 // content of x. It stops when ‖r‖ ≤ tol·‖b‖ or after maxIter iterations.
+// Convergence is certified on the true residual b − Ax, with the same
+// residual-replacement policy as PCG: the cheap recurrence residual is
+// only a hint, confirmed (and refreshed every pcgRefreshEvery
+// iterations) against an explicit recomputation, so the Converged flag
+// and the reported Residual stay honest on ill-conditioned systems —
+// this is the solver behind every fem.Solve2D/3D reference field.
 func CG(a Operator, b, x []float64, tol float64, maxIter int) CGResult {
 	n := a.Size()
 	if len(b) != n || len(x) != n {
@@ -147,18 +153,23 @@ func CG(a Operator, b, x []float64, tol float64, maxIter int) CGResult {
 	p := make([]float64, n)
 	ap := make([]float64, n)
 
-	a.Apply(r, x)
-	for i := range r {
-		r[i] = b[i] - r[i]
+	trueResidual := func() float64 {
+		a.Apply(ap, x)
+		for i := range r {
+			r[i] = b[i] - ap[i]
+		}
+		return math.Sqrt(dot(r, r))
 	}
+
+	rn := trueResidual()
 	copy(p, r)
 	rs := dot(r, r)
 	bn := math.Sqrt(dot(b, b))
 	if bn == 0 {
 		bn = 1
 	}
-	res := CGResult{Residual: math.Sqrt(rs)}
-	if res.Residual <= tol*bn {
+	res := CGResult{Residual: rn}
+	if rn <= tol*bn {
 		res.Converged = true
 		return res
 	}
@@ -169,19 +180,29 @@ func CG(a Operator, b, x []float64, tol float64, maxIter int) CGResult {
 			x[i] += alpha * p[i]
 			r[i] -= alpha * ap[i]
 		}
-		rsNew := dot(r, r)
 		res.Iterations = it + 1
-		res.Residual = math.Sqrt(rsNew)
-		if res.Residual <= tol*bn {
-			res.Converged = true
-			return res
+		rsNew := dot(r, r)
+		rn = math.Sqrt(rsNew)
+		if rn <= tol*bn || (it+1)%pcgRefreshEvery == 0 {
+			// Residual replacement: r becomes b − Ax, so the recurrence
+			// scalar must be recomputed from the replaced residual.
+			rn = trueResidual()
+			rsNew = dot(r, r)
+			res.Residual = rn
+			if rn <= tol*bn {
+				res.Converged = true
+				return res
+			}
 		}
+		res.Residual = rn
 		beta := rsNew / rs
 		for i := range p {
 			p[i] = r[i] + beta*p[i]
 		}
 		rs = rsNew
 	}
+	res.Residual = trueResidual()
+	res.Converged = res.Residual <= tol*bn
 	return res
 }
 

@@ -37,10 +37,11 @@ type Config struct {
 	// FinalSigmoid applies the paper's Sigmoid output activation; when
 	// false the output is linear (used in ablations).
 	FinalSigmoid bool
-	// DirectConv pins every 3D convolution to the direct-loop kernel (the
-	// correctness oracle). When false — the default — layers select the
-	// im2col+GEMM lowering automatically above the nn.ConvAuto volume
-	// threshold, which is what makes megavoxel forward passes fast. Old
+	// DirectConv pins every convolution (2D and 3D) to the direct-loop
+	// kernel (the correctness oracle). When false — the default — layers
+	// select the im2col+GEMM lowering automatically (always in 2D, above
+	// the nn.ConvAuto volume threshold in 3D), which is what makes both
+	// megavoxel forward passes and high-throughput 2D serving fast. Old
 	// gob snapshots decode this as false and so pick up the fast path.
 	DirectConv bool
 	// Seed drives deterministic weight initialization.
@@ -188,7 +189,11 @@ func (u *UNet) SetBufferReuse(on bool) {
 
 func (u *UNet) newConv(name string, in, out, k, s, p int) nn.Layer {
 	if u.Cfg.Dim == 2 {
-		return nn.NewConv2D(u.rng, name, in, out, k, s, p)
+		c := nn.NewConv2D(u.rng, name, in, out, k, s, p)
+		if u.Cfg.DirectConv {
+			c.Algo = nn.ConvDirect
+		}
+		return c
 	}
 	c := nn.NewConv3D(u.rng, name, in, out, k, s, p)
 	if u.Cfg.DirectConv {
@@ -199,7 +204,11 @@ func (u *UNet) newConv(name string, in, out, k, s, p int) nn.Layer {
 
 func (u *UNet) newConvT(name string, in, out, k, s, p int) nn.Layer {
 	if u.Cfg.Dim == 2 {
-		return nn.NewConvTranspose2D(u.rng, name, in, out, k, s, p)
+		c := nn.NewConvTranspose2D(u.rng, name, in, out, k, s, p)
+		if u.Cfg.DirectConv {
+			c.Algo = nn.ConvDirect
+		}
+		return c
 	}
 	return nn.NewConvTranspose3D(u.rng, name, in, out, k, s, p)
 }
@@ -221,6 +230,20 @@ func (u *UNet) newBlock(name string, in, out, k, pad int) *block {
 // MinInputSize returns the smallest spatial extent the network accepts:
 // the input must survive Depth halvings.
 func (u *UNet) MinInputSize() int { return 1 << u.Cfg.Depth }
+
+// ValidateRes reports whether a square/cubic domain of extent res per
+// spatial axis is a feasible input size, as an error instead of the panic
+// checkInput raises mid-forward. Front ends (cmd/mginfer, internal/serve)
+// call this after loading a model so an incompatible resolution becomes a
+// one-line diagnostic naming the allowed granularity.
+func (u *UNet) ValidateRes(res int) error {
+	m := u.MinInputSize()
+	if res < m || res%m != 0 {
+		return fmt.Errorf("unet: resolution %d is not a positive multiple of %d (the network pools the extent %d times, so inputs must come in steps of %d)",
+			res, m, u.Cfg.Depth, m)
+	}
+	return nil
+}
 
 // ReceptiveFieldRadius returns the half-width of the network's receptive
 // field along one spatial axis: output values more than this many rows
@@ -277,9 +300,9 @@ func (u *UNet) checkInput(x *tensor.Tensor) {
 // Backward are cached inside the constituent layers.
 //
 // Forward is not safe for concurrent calls on a shared network even with
-// train=false: the 3D convolution layers reuse per-layer GEMM scratch
-// buffers (see nn.Conv3D). Use Clone to give each goroutine its own
-// replica, as internal/dist does.
+// train=false: the convolution layers reuse per-layer GEMM scratch
+// buffers (see nn.Conv2D/nn.Conv3D). Use Clone to give each goroutine its
+// own replica, as internal/dist and internal/serve do.
 func (u *UNet) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	u.checkInput(x)
 	skips := u.skips
