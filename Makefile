@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_pr5.json
 
-.PHONY: all build vet test race bench ci clean
+.PHONY: all build vet test race bench ci clean tcp-smoke
 
 all: build
 
@@ -19,6 +19,11 @@ race:
 	$(GO) test -race -short -run 'Checkpoint|Resume' ./internal/core/
 
 ci: vet test
+
+# Elastic fault-tolerance smoke: 3-rank TCP world on loopback, one rank
+# SIGKILL'd mid-run, survivors reform and finish from the checkpoint.
+tcp-smoke:
+	./scripts/tcp_smoke.sh
 
 # Run the strong-scaling benchmarks (Figure 9: allreduce ablation +
 # data-parallel epoch sweep), the bucketed comm/compute-overlap ablation,

@@ -3,11 +3,20 @@
 // saves the weights for cmd/mginfer. Long runs can write durable
 // checkpoints and resume after a kill with bit-identical results.
 //
+// Data parallelism comes in two transports: in-process worker goroutines
+// (-workers) and a multi-process TCP world (-transport tcp), where every
+// process is one rank of the same collective and trains bit-identically to
+// the in-process mesh. With -elastic, surviving ranks of a TCP world
+// detect a dead rank, reform without it, and resume from the last shared
+// checkpoint.
+//
 // Examples:
 //
 //	mgtrain -dim 2 -strategy half-v -res 64 -levels 3 -samples 32 -o model.bin
 //	mgtrain -workers 4 -checkpoint run.ck -checkpoint-every 5 ...
 //	mgtrain -workers 4 -checkpoint run.ck -resume ...   # after a kill
+//	mgtrain -transport tcp -rank 0 -peers host0:7000,host1:7000 \
+//	        -elastic -checkpoint run.ck ...             # one process per rank
 package main
 
 import (
@@ -16,7 +25,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
 	"strings"
+	"time"
 
 	"mgdiffnet/internal/core"
 	"mgdiffnet/internal/dist"
@@ -49,6 +60,13 @@ type trainFlags struct {
 	adapt, resume                     bool
 	seed                              int64
 	out, checkpoint                   string
+
+	transport, peers       string
+	rank                   int
+	elastic                bool
+	hbInterval, hbTimeout  time.Duration
+	opTimeout, dialTimeout time.Duration
+	peerList               []string // parsed from peers by validate
 }
 
 // validate rejects inconsistent flag combinations with one-line errors so
@@ -100,6 +118,49 @@ func (f *trainFlags) validate() error {
 	if f.resume && f.checkpoint == "" {
 		return errors.New("-resume requires -checkpoint")
 	}
+	switch f.transport {
+	case "inproc":
+		if f.rank >= 0 {
+			return errors.New("-rank only applies to -transport tcp")
+		}
+		if f.peers != "" {
+			return errors.New("-peers only applies to -transport tcp")
+		}
+		if f.elastic {
+			return errors.New("-elastic only applies to -transport tcp")
+		}
+	case "tcp":
+		if f.rank < 0 {
+			return errors.New("-transport tcp requires -rank")
+		}
+		if f.peers == "" {
+			return errors.New("-transport tcp requires -peers")
+		}
+		if f.workers != 1 {
+			return errors.New("-transport tcp runs one process per rank; drop -workers and start one mgtrain per peer")
+		}
+		f.peerList = strings.Split(f.peers, ",")
+		for i, a := range f.peerList {
+			f.peerList[i] = strings.TrimSpace(a)
+		}
+		if err := dist.ValidateWorld(f.rank, f.peerList); err != nil {
+			return err
+		}
+		if f.elastic && f.checkpoint == "" {
+			return errors.New("-elastic requires -checkpoint (survivors resume from it)")
+		}
+		if f.hbInterval <= 0 || f.hbTimeout <= 0 {
+			return errors.New("-heartbeat-interval and -heartbeat-timeout must be > 0")
+		}
+		if f.hbTimeout < 2*f.hbInterval {
+			return fmt.Errorf("-heartbeat-timeout %v must be at least twice -heartbeat-interval %v", f.hbTimeout, f.hbInterval)
+		}
+		if f.dialTimeout <= 0 {
+			return errors.New("-dial-timeout must be > 0")
+		}
+	default:
+		return fmt.Errorf("unknown transport %q (want inproc or tcp)", f.transport)
+	}
 	// The default U-Net halves the extent Depth times, so the coarsest
 	// level must still be a positive multiple of its minimum input size.
 	min := 1 << unet.DefaultConfig(f.dim).Depth
@@ -147,6 +208,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs.IntVar(&f.ckEvery, "checkpoint-every", 1, "epochs between checkpoint snapshots")
 	fs.BoolVar(&f.resume, "resume", false, "resume from -checkpoint if it exists")
 	fs.StringVar(&f.out, "o", "", "output path for the trained model (gob)")
+	fs.StringVar(&f.transport, "transport", "inproc", "data-parallel transport: inproc (in-process workers) or tcp (one process per rank)")
+	fs.IntVar(&f.rank, "rank", -1, "this process's rank in the -peers list (tcp)")
+	fs.StringVar(&f.peers, "peers", "", "comma-separated host:port of every rank, in rank order (tcp)")
+	fs.BoolVar(&f.elastic, "elastic", false, "on a rank failure, reform the surviving ranks and resume from -checkpoint (tcp)")
+	fs.DurationVar(&f.hbInterval, "heartbeat-interval", 500*time.Millisecond, "max send-idle time before a heartbeat frame (tcp)")
+	fs.DurationVar(&f.hbTimeout, "heartbeat-timeout", 5*time.Second, "receive silence after which a peer is declared dead (tcp)")
+	fs.DurationVar(&f.opTimeout, "op-timeout", 2*time.Minute, "per-operation send/recv deadline (tcp)")
+	fs.DurationVar(&f.dialTimeout, "dial-timeout", 30*time.Second, "total rendezvous budget for assembling the world (tcp)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -186,6 +255,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stdout, format+"\n", args...)
 		},
+	}
+
+	if f.transport == "tcp" {
+		return runTCP(&f, cfg, &ncfg, stdout, stderr)
 	}
 
 	var backend core.EpochBackend
@@ -249,4 +322,110 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		fmt.Fprintf(stdout, "model written to %s\n", f.out)
 	}
 	return 0
+}
+
+// runTCP runs this process as one rank of a multi-process TCP world. The
+// loop body is one world incarnation: rendezvous, train, and — when a rank
+// dies and -elastic is set — abort with gossip, shrink the address list,
+// and go around again as a rank of the smaller world, resuming from the
+// shared checkpoint. Only global rank 0 writes the checkpoint (and the
+// final model): per-rank checkpoints could disagree about how far training
+// got at the moment of a failure, while a single writer leaves exactly one
+// resume point that every survivor reads.
+func runTCP(f *trainFlags, cfg core.Config, ncfg *unet.Config, stdout, stderr io.Writer) int {
+	peers := f.peerList
+	rank := f.rank
+	self := peers[rank]
+
+	opt := dist.DefaultTCPOptions()
+	opt.HeartbeatInterval = f.hbInterval
+	opt.HeartbeatTimeout = f.hbTimeout
+	opt.OpTimeout = f.opTimeout
+	opt.DialTimeout = f.dialTimeout
+	opt.Logf = func(format string, args ...any) { fmt.Fprintf(stdout, "mgtrain: "+format+"\n", args...) }
+
+	for attempt := 0; ; attempt++ {
+		tr, err := dist.NewTCPTransport(rank, peers, opt)
+		if err != nil {
+			fmt.Fprintln(stderr, "mgtrain:", err)
+			return 1
+		}
+		pt, err := dist.NewParallelTrainer(dist.ParallelConfig{
+			Transport:   tr,
+			Dim:         f.dim,
+			Res:         f.res,
+			Samples:     f.samples,
+			GlobalBatch: f.batch,
+			LR:          f.lr,
+			Seed:        f.seed,
+			Net:         ncfg,
+		})
+		if err != nil {
+			tr.Close()
+			fmt.Fprintln(stderr, "mgtrain:", err)
+			return 2
+		}
+
+		opts := core.RunOptions{CheckpointEvery: f.ckEvery}
+		if rank == 0 {
+			opts.CheckpointPath = f.checkpoint
+		}
+		// Every rank of a resuming or reformed world loads the same shared
+		// checkpoint file, so all replicas restart bit-identical.
+		if f.checkpoint != "" && (f.resume || attempt > 0) {
+			ck, err := core.LoadCheckpoint(f.checkpoint)
+			switch {
+			case errors.Is(err, os.ErrNotExist):
+				fmt.Fprintf(stdout, "mgtrain: no checkpoint at %s yet, starting fresh\n", f.checkpoint)
+			case err != nil:
+				pt.Close()
+				tr.Close()
+				fmt.Fprintln(stderr, "mgtrain:", err)
+				return 2
+			default:
+				opts.Resume = ck
+			}
+		}
+
+		fmt.Fprintf(stdout, "mgtrain: %s, %dD, finest res %d, %d levels; tcp rank %d of %d\n",
+			cfg.Strategy, f.dim, f.res, f.levels, rank, len(peers))
+		rep, err := core.RunSchedule(cfg, pt, opts)
+		pt.Close()
+		if err == nil {
+			tr.Close()
+			fmt.Fprintf(stdout, "done: final loss %.6f in %.2fs over %d stages\n",
+				rep.FinalLoss, rep.TotalSeconds, len(rep.Stages))
+			if f.out != "" && rank == 0 {
+				if err := pt.Net().SaveFile(f.out); err != nil {
+					fmt.Fprintln(stderr, "mgtrain: save:", err)
+					return 1
+				}
+				fmt.Fprintf(stdout, "model written to %s\n", f.out)
+			}
+			return 0
+		}
+
+		dead := tr.Failed()
+		tr.CloseAbort(dead)
+		if !f.elastic || len(dead) == 0 || len(dead) >= len(peers)-1 {
+			fmt.Fprintln(stderr, "mgtrain:", err)
+			return 1
+		}
+		survivors := make([]string, 0, len(peers)-len(dead))
+		for q, addr := range peers {
+			if !slices.Contains(dead, q) {
+				survivors = append(survivors, addr)
+			}
+		}
+		peers = survivors
+		rank = slices.Index(peers, self)
+		if rank < 0 {
+			// This rank is in somebody's dead set (e.g. a transient stall):
+			// it must not rejoin a world that has already written it off.
+			fmt.Fprintln(stderr, "mgtrain: this rank was declared dead by the surviving world; exiting")
+			return 1
+		}
+		fmt.Fprintf(stdout, "mgtrain: ranks %v dead after %v; reforming as rank %d of %d from checkpoint %s\n",
+			dead, err, rank, len(peers), f.checkpoint)
+	}
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"net"
 	"os"
 	"strings"
 	"testing"
@@ -47,6 +49,21 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		"resume sans path":      {"-resume"},
 		"coarsest below min":    {"-res", "16", "-levels", "3"}, // coarsest 4 < U-Net minimum 8
 		"unknown flag":          {"-no-such-flag"},
+
+		"unknown transport":   {"-transport", "udp"},
+		"tcp without rank":    {"-transport", "tcp", "-peers", "a:1,b:2"},
+		"tcp without peers":   {"-transport", "tcp", "-rank", "0"},
+		"rank out of range":   {"-transport", "tcp", "-rank", "2", "-peers", "a:1,b:2"},
+		"negative rank":       {"-transport", "tcp", "-rank", "-1", "-peers", "a:1,b:2"},
+		"duplicate peer":      {"-transport", "tcp", "-rank", "0", "-peers", "a:1,a:1"},
+		"empty peer address":  {"-transport", "tcp", "-rank", "0", "-peers", "a:1,,b:2"},
+		"tcp with workers":    {"-transport", "tcp", "-rank", "0", "-peers", "a:1,b:2", "-workers", "2"},
+		"inproc with rank":    {"-rank", "0"},
+		"inproc with peers":   {"-peers", "a:1,b:2"},
+		"inproc with elastic": {"-elastic"},
+		"elastic sans ck":     {"-transport", "tcp", "-rank", "0", "-peers", "a:1,b:2", "-elastic"},
+		"tight hb timeout":    {"-transport", "tcp", "-rank", "0", "-peers", "a:1,b:2", "-heartbeat-timeout", "500ms", "-heartbeat-interval", "400ms"},
+		"zero dial timeout":   {"-transport", "tcp", "-rank", "0", "-peers", "a:1,b:2", "-dial-timeout", "0"},
 	}
 	for name, args := range cases {
 		var out, errw bytes.Buffer
@@ -112,5 +129,65 @@ func TestRunDistributedWorkers(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "2 workers") {
 		t.Fatalf("missing worker count in banner: %q", out.String())
+	}
+}
+
+// freeLoopbackAddrs reserves n distinct loopback ports by binding and
+// releasing them; the small race against other tests is acceptable.
+func freeLoopbackAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestRunTCPTwoRanks drives the full launcher path end to end: two run()
+// invocations, each one rank of a TCP world on loopback, training the tiny
+// problem to completion. Only rank 0 writes the model.
+func TestRunTCPTwoRanks(t *testing.T) {
+	addrs := freeLoopbackAddrs(t, 2)
+	peers := strings.Join(addrs, ",")
+	model := t.TempDir() + "/model.bin"
+
+	type result struct {
+		code int
+		out  string
+		err  string
+	}
+	results := make(chan result, 2)
+	for rank := 0; rank < 2; rank++ {
+		go func(rank int) {
+			var out, errw bytes.Buffer
+			args := tinyArgs("-transport", "tcp", "-rank", fmt.Sprint(rank),
+				"-peers", peers, "-dial-timeout", "20s")
+			if rank == 0 {
+				args = append(args, "-o", model)
+			}
+			code := run(args, &out, &errw)
+			results <- result{code, out.String(), errw.String()}
+		}(rank)
+	}
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.code != 0 {
+			t.Fatalf("tcp rank exited %d\nstdout: %s\nstderr: %s", r.code, r.out, r.err)
+		}
+		if !strings.Contains(r.out, "done: final loss") {
+			t.Fatalf("missing summary: %q", r.out)
+		}
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatalf("rank 0 did not write the model: %v", err)
 	}
 }

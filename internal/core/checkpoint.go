@@ -2,12 +2,23 @@ package core
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
+	"syscall"
 
 	"mgdiffnet/internal/nn"
 	"mgdiffnet/internal/unet"
 )
+
+// ErrCorruptCheckpoint marks a checkpoint file that exists but cannot be
+// trusted: a failed gob decode or an impossible cursor. It is distinct
+// from os.ErrNotExist ("start fresh") because the right reaction differs —
+// a missing checkpoint means no progress was saved, a corrupt one means
+// saved progress is unreadable and silently restarting would discard it.
+// Test with errors.Is.
+var ErrCorruptCheckpoint = errors.New("corrupt checkpoint")
 
 // RunKey identifies a training configuration for checkpoint compatibility:
 // a checkpoint only resumes a run whose schedule-shaping fields — and
@@ -16,6 +27,13 @@ import (
 // order and learning rate, and ImportState rebuilds the net from the
 // snapshot's stored config (a silently different -filters would otherwise
 // be accepted and ignored).
+//
+// The worker count and transport are deliberately NOT part of the key: a
+// snapshot is the total training state, independent of how the global
+// batch was sharded when it was written, so a checkpoint from a p-rank
+// world restores into any world size. That is the contract elastic fault
+// tolerance rests on — after a rank dies, the survivors resume the same
+// checkpoint at the smaller world size.
 type RunKey struct {
 	Dim               int
 	Strategy          Strategy
@@ -96,10 +114,13 @@ type Checkpoint struct {
 	Opt nn.AdamState
 }
 
-// SaveCheckpoint writes ck atomically: the snapshot is gob-encoded to a
-// temporary file next to the target, synced to disk, and renamed over
-// path, so a crash mid-write can never leave a truncated checkpoint
-// behind — the previous checkpoint survives instead.
+// SaveCheckpoint writes ck atomically and durably: the snapshot is
+// gob-encoded to a temporary file next to the target, fsynced, renamed
+// over path, and the containing directory is fsynced so the rename itself
+// survives a machine crash (not just a process kill — without the
+// directory sync a power loss can roll the rename back, and without the
+// file sync it can expose a renamed-but-empty file). A crash at any point
+// leaves either the previous checkpoint or the new one, never a torn mix.
 func SaveCheckpoint(path string, ck *Checkpoint) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -124,12 +145,30 @@ func SaveCheckpoint(path string, ck *Checkpoint) error {
 		os.Remove(tmp)
 		return fmt.Errorf("core: checkpoint rename: %w", err)
 	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Some
+// filesystems reject fsync on directories (EINVAL); that is not a failed
+// checkpoint, so only real sync failures are reported.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint dir open: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, errors.ErrUnsupported) {
+		return fmt.Errorf("core: checkpoint dir sync: %w", err)
+	}
 	return nil
 }
 
 // LoadCheckpoint reads a checkpoint written by SaveCheckpoint. The error
 // wraps os.ErrNotExist when no checkpoint exists yet, so callers can treat
-// a missing file as "start fresh".
+// a missing file as "start fresh"; a file that exists but fails to decode
+// (truncated, garbage, torn write from a non-atomic writer) wraps
+// ErrCorruptCheckpoint instead, so "no progress" and "unreadable progress"
+// stay distinguishable.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -138,10 +177,11 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	defer f.Close()
 	var ck Checkpoint
 	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
-		return nil, fmt.Errorf("core: checkpoint decode: %w", err)
+		return nil, fmt.Errorf("core: checkpoint %s: %w: decode: %v", path, ErrCorruptCheckpoint, err)
 	}
 	if ck.StageIdx < 0 || ck.Epoch < 0 {
-		return nil, fmt.Errorf("core: checkpoint has negative cursor (%d, %d)", ck.StageIdx, ck.Epoch)
+		return nil, fmt.Errorf("core: checkpoint %s: %w: negative cursor (%d, %d)",
+			path, ErrCorruptCheckpoint, ck.StageIdx, ck.Epoch)
 	}
 	if ck.DataCursor != 0 {
 		return nil, fmt.Errorf("core: checkpoint has mid-epoch data cursor %d; only epoch-aligned snapshots are supported", ck.DataCursor)

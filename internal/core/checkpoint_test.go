@@ -217,15 +217,51 @@ func TestResumeRejectsMismatchedConfig(t *testing.T) {
 }
 
 func TestLoadCheckpointErrors(t *testing.T) {
-	if _, err := LoadCheckpoint(t.TempDir() + "/missing.gob"); !errors.Is(err, os.ErrNotExist) {
-		t.Fatalf("missing checkpoint should wrap os.ErrNotExist, got %v", err)
+	missErr := func() error {
+		_, err := LoadCheckpoint(t.TempDir() + "/missing.gob")
+		return err
+	}()
+	if !errors.Is(missErr, os.ErrNotExist) {
+		t.Fatalf("missing checkpoint should wrap os.ErrNotExist, got %v", missErr)
+	}
+	if errors.Is(missErr, ErrCorruptCheckpoint) {
+		t.Fatalf("missing checkpoint must not be reported as corrupt: %v", missErr)
 	}
 	bad := t.TempDir() + "/corrupt.gob"
 	if err := os.WriteFile(bad, []byte("not a gob stream"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadCheckpoint(bad); err == nil {
-		t.Fatal("corrupt checkpoint should fail to decode")
+	if _, err := LoadCheckpoint(bad); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("garbage checkpoint should wrap ErrCorruptCheckpoint, got %v", err)
+	}
+}
+
+// TestLoadCheckpointTruncated corrupts a real checkpoint the way a torn
+// write would — by cutting it off mid-stream — and expects the distinct
+// corrupt-checkpoint error, not a missing-file error or a bogus snapshot.
+func TestLoadCheckpointTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/ck.gob"
+	cfg := ckTestConfig()
+	cfg.Adapt = false
+	cfg.MaxEpochsPerStage = 1
+	cfg.RestrictionEpochs = 1
+	if _, err := RunSchedule(cfg, NewTrainer(cfg), RunOptions{CheckpointPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) < 2 {
+		t.Fatalf("checkpoint implausibly small: %d bytes", len(blob))
+	}
+	trunc := dir + "/truncated.gob"
+	if err := os.WriteFile(trunc, blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(trunc); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("truncated checkpoint should wrap ErrCorruptCheckpoint, got %v", err)
 	}
 }
 

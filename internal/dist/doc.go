@@ -1,9 +1,16 @@
 // Package dist provides the distributed-training substrate of the
 // reproduction: a point-to-point Transport abstraction with an in-process
-// channel implementation, bandwidth-optimal ring allreduce (plus the naive
-// all-to-all baseline it is benchmarked against), a data-parallel
-// ParallelTrainer whose goroutine workers stand in for the paper's MPI
-// ranks, and slab-decomposed model-parallel inference with halo exchange.
+// channel implementation and a wire implementation (TCPTransport:
+// length-prefixed frames over a persistent full mesh, heartbeat failure
+// detection, bounded send queues), bandwidth-optimal ring allreduce (plus
+// the naive all-to-all baseline it is benchmarked against), a
+// data-parallel ParallelTrainer whose goroutine workers stand in for the
+// paper's MPI ranks — or, given an external Transport, one rank of a
+// multi-process world — and slab-decomposed model-parallel inference with
+// halo exchange. FaultTransport injects deterministic drops, delays and
+// rank kills for testing; the membership layer turns every failure into a
+// timely error (never a hang) and lets survivors agree on a shrunken
+// world and resume from the last checkpoint (elastic fault tolerance).
 // ParallelTrainer trains at a per-epoch resolution and satisfies
 // core.EpochBackend structurally (dist does not import the schedule
 // layer), so core.RunSchedule drives every multigrid strategy

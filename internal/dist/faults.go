@@ -1,0 +1,228 @@
+package dist
+
+import (
+	"fmt"
+	rand "math/rand/v2"
+	"sync"
+	"time"
+)
+
+// FaultConfig drives deterministic fault injection on a FaultTransport.
+// The drop/delay schedule is a pure function of Seed and the operation
+// sequence, so a failure mode reproduces exactly run after run.
+type FaultConfig struct {
+	// Seed fixes the per-endpoint fault RNG.
+	Seed int64
+	// DropProb is the probability a Send is silently dropped (the message
+	// vanishes on the wire; with no retransmit layer, the matching Recv
+	// can only end in a deadline error).
+	DropProb float64
+	// DelayProb is the probability a Send is delayed by a uniform draw
+	// from [0, MaxDelay) before delivery.
+	DelayProb float64
+	MaxDelay  time.Duration
+	// OpTimeout is the per-Send/Recv deadline. It is what turns a dead or
+	// silent peer into a timeout error instead of a hang; 0 blocks like
+	// the wrapped transport (only sensible with no kills or drops).
+	OpTimeout time.Duration
+}
+
+type fetchResult struct {
+	msg []float64
+	err error
+}
+
+// faultFetch is the per-peer receive pump state: at most one inner Recv is
+// in flight, so a timed-out Recv's message is not lost — the next Recv
+// from that peer picks it up, preserving in-order delivery.
+type faultFetch struct {
+	res      chan fetchResult
+	want     int
+	inflight bool
+}
+
+// FaultTransport wraps a Transport with deterministic fault injection:
+// configurable message drops and delays, per-op deadlines, and whole-rank
+// kills. It exists to test every distributed failure mode without a real
+// network — the elastic recovery path (dead rank → timeout errors on the
+// survivors → shrink → resume) runs identically over a killed
+// FaultTransport and a killed TCP process.
+//
+// Like the transports it wraps, one endpoint serves one rank's collective
+// at a time. A Recv that times out leaves a background pump waiting on the
+// wrapped transport; its message (of the same expected length) is
+// delivered to the next Recv from that peer. After an aborted collective
+// the world is rebuilt on fresh transports, so stale pumps die with the
+// old mesh.
+type FaultTransport struct {
+	inner Transport
+	cfg   FaultConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	fetch []*faultFetch
+
+	killed   chan struct{}
+	killOnce sync.Once
+}
+
+// NewFaultTransport wraps one endpoint. Endpoints of the same world should
+// use distinct seeds (NewFaultRing offsets by rank) so their fault
+// schedules are independent.
+func NewFaultTransport(inner Transport, cfg FaultConfig) *FaultTransport {
+	f := &FaultTransport{
+		inner:  inner,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(cfg.Seed)^0x9e3779b97f4a7c15)),
+		fetch:  make([]*faultFetch, inner.Peers()),
+		killed: make(chan struct{}),
+	}
+	for q := range f.fetch {
+		f.fetch[q] = &faultFetch{res: make(chan fetchResult, 1)}
+	}
+	return f
+}
+
+// NewFaultRing builds a p-way in-process world (NewChannelRing) with every
+// endpoint wrapped for fault injection, seeding rank r with cfg.Seed+r.
+func NewFaultRing(p int, cfg FaultConfig) []*FaultTransport {
+	trs := NewChannelRing(p)
+	out := make([]*FaultTransport, p)
+	for r, tr := range trs {
+		c := cfg
+		c.Seed = cfg.Seed + int64(r)
+		out[r] = NewFaultTransport(tr, c)
+	}
+	return out
+}
+
+// Kill simulates this rank's process dying: every subsequent (and pending)
+// operation on this endpoint fails with ErrKilled, and nothing more is
+// sent — peers see pure silence, exactly like a SIGKILL'd process, and
+// detect it through their own deadlines. Idempotent.
+func (f *FaultTransport) Kill() { f.killOnce.Do(func() { close(f.killed) }) }
+
+// Killed reports whether Kill has been called.
+func (f *FaultTransport) Killed() bool {
+	select {
+	case <-f.killed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Rank implements Transport.
+func (f *FaultTransport) Rank() int { return f.inner.Rank() }
+
+// Peers implements Transport.
+func (f *FaultTransport) Peers() int { return f.inner.Peers() }
+
+func (f *FaultTransport) killedErr(op string, peer int) error {
+	return fmt.Errorf("dist: %s rank %d: %w", op, peer, ErrKilled)
+}
+
+func (f *FaultTransport) opTimer() (<-chan time.Time, *time.Timer) {
+	if f.cfg.OpTimeout <= 0 {
+		return nil, nil
+	}
+	tm := time.NewTimer(f.cfg.OpTimeout)
+	return tm.C, tm
+}
+
+// Send implements Transport with the configured faults applied: a possible
+// delay, a possible silent drop, and the OpTimeout deadline on the inner
+// send (whose channel mesh otherwise blocks forever once a dead peer's
+// link buffer fills).
+func (f *FaultTransport) Send(to int, buf []float64) error {
+	select {
+	case <-f.killed:
+		return f.killedErr("send to", to)
+	default:
+	}
+	f.mu.Lock()
+	drop := f.cfg.DropProb > 0 && f.rng.Float64() < f.cfg.DropProb
+	var delay time.Duration
+	if f.cfg.DelayProb > 0 && f.cfg.MaxDelay > 0 && f.rng.Float64() < f.cfg.DelayProb {
+		delay = time.Duration(f.rng.Int64N(int64(f.cfg.MaxDelay)))
+	}
+	f.mu.Unlock()
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-f.killed:
+			return f.killedErr("send to", to)
+		}
+	}
+	if drop {
+		return nil
+	}
+	if f.cfg.OpTimeout <= 0 {
+		return f.inner.Send(to, buf)
+	}
+	// The caller may reuse buf the moment Send returns, so the bounded
+	// send works on a private copy.
+	msg := append([]float64(nil), buf...)
+	done := make(chan error, 1)
+	go func() { done <- f.inner.Send(to, msg) }()
+	timeout, tm := f.opTimer()
+	defer tm.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timeout:
+		return fmt.Errorf("dist: send to rank %d: %w after %v", to, ErrDeadline, f.cfg.OpTimeout)
+	case <-f.killed:
+		return f.killedErr("send to", to)
+	}
+}
+
+// Recv implements Transport with the OpTimeout deadline: a peer that never
+// sends (killed, or its message was dropped) produces a timeout error,
+// never a hang.
+func (f *FaultTransport) Recv(from int, buf []float64) error {
+	select {
+	case <-f.killed:
+		return f.killedErr("recv from", from)
+	default:
+	}
+	if from < 0 || from >= len(f.fetch) {
+		return f.inner.Recv(from, buf) // let the inner transport report it
+	}
+	if f.cfg.OpTimeout <= 0 {
+		return f.inner.Recv(from, buf)
+	}
+	pf := f.fetch[from]
+	f.mu.Lock()
+	if !pf.inflight {
+		pf.want = len(buf)
+		pf.inflight = true
+		go func(n int) {
+			tmp := make([]float64, n)
+			err := f.inner.Recv(from, tmp)
+			pf.res <- fetchResult{tmp, err}
+		}(len(buf))
+	} else if pf.want != len(buf) {
+		f.mu.Unlock()
+		return fmt.Errorf("dist: recv from rank %d: pending receive expects %d values, caller wants %d",
+			from, pf.want, len(buf))
+	}
+	f.mu.Unlock()
+	timeout, tm := f.opTimer()
+	defer tm.Stop()
+	select {
+	case r := <-pf.res:
+		f.mu.Lock()
+		pf.inflight = false
+		f.mu.Unlock()
+		if r.err != nil {
+			return r.err
+		}
+		copy(buf, r.msg)
+		return nil
+	case <-timeout:
+		return fmt.Errorf("dist: recv from rank %d: %w after %v", from, ErrDeadline, f.cfg.OpTimeout)
+	case <-f.killed:
+		return f.killedErr("recv from", from)
+	}
+}

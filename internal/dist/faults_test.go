@@ -1,0 +1,268 @@
+package dist
+
+// Fault injection: the collectives must tolerate arbitrary delivery delays
+// without changing a single bit, and must turn silent peers (drops, kills)
+// into timely deadline errors — the failure detector contract the elastic
+// recovery path is built on. The final test runs the whole recovery story
+// in-process: kill a rank mid-run, shrink the world, resume from the last
+// checkpoint, and match a fresh run at the smaller world size bit for bit.
+
+import (
+	"errors"
+	"math"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"mgdiffnet/internal/core"
+)
+
+// Delays reorder wall-clock arrival but not per-link message order, and the
+// rank-order collective sums in a fixed order regardless — so a heavily
+// delayed allreduce must be bit-identical to an undisturbed one.
+func TestFaultDelaysPreserveBitExactness(t *testing.T) {
+	const p, n = 3, 41
+	vecs := testVectors(p, n)
+
+	ref := make([][]float64, p)
+	runComms(t, p, func(c *Communicator) error {
+		x := append([]float64(nil), vecs[c.Rank()]...)
+		err := c.AllReduce(x)
+		ref[c.Rank()] = x
+		return err
+	})
+
+	ring := NewFaultRing(p, FaultConfig{
+		Seed:      99,
+		DelayProb: 0.75,
+		MaxDelay:  3 * time.Millisecond,
+		OpTimeout: 10 * time.Second,
+	})
+	got := make([][]float64, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			x := append([]float64(nil), vecs[r]...)
+			errs[r] = NewCommunicator(ring[r]).AllReduce(x)
+			got[r] = x
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < p; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: %v", r, errs[r])
+		}
+		for i := range ref[r] {
+			if math.Float64bits(got[r][i]) != math.Float64bits(ref[r][i]) {
+				t.Fatalf("rank %d elem %d: delayed %v vs clean %v — must be bit-identical",
+					r, i, got[r][i], ref[r][i])
+			}
+		}
+	}
+}
+
+// With every message dropped, a collective must end in deadline errors on
+// every rank within a small multiple of OpTimeout — never a deadlock.
+func TestFaultDropsTimeOutNotDeadlock(t *testing.T) {
+	const p = 2
+	ring := NewFaultRing(p, FaultConfig{
+		Seed:      7,
+		DropProb:  1.0,
+		OpTimeout: 200 * time.Millisecond,
+	})
+	errs := make(chan error, p)
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			x := []float64{float64(r), 1, 2, 3}
+			errs <- NewCommunicator(ring[r]).AllReduce(x)
+		}(r)
+	}
+	for i := 0; i < p; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrDeadline) {
+				t.Fatalf("want ErrDeadline under total message loss, got %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("collective deadlocked under total message loss")
+		}
+	}
+}
+
+// Killing a rank silences it: its own operations fail with ErrKilled, and
+// a peer blocked on it gets a deadline error within OpTimeout.
+func TestFaultKillSilencesRank(t *testing.T) {
+	ring := NewFaultRing(2, FaultConfig{OpTimeout: 300 * time.Millisecond})
+
+	recvErr := make(chan error, 1)
+	go func() {
+		buf := make([]float64, 2)
+		recvErr <- ring[0].Recv(1, buf)
+	}()
+	ring[1].Kill()
+	if !ring[1].Killed() {
+		t.Fatal("Killed() false after Kill")
+	}
+	if err := ring[1].Send(0, []float64{1}); !errors.Is(err, ErrKilled) {
+		t.Fatalf("send on killed endpoint: %v, want ErrKilled", err)
+	}
+
+	select {
+	case err := <-recvErr:
+		if !errors.Is(err, ErrDeadline) {
+			t.Fatalf("recv from killed rank: %v, want ErrDeadline", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("recv from killed rank never returned")
+	}
+}
+
+// killingParallel kills the fault-injected transport after a fixed number
+// of epochs and errors out, simulating a SIGKILL mid-run: the rank stops
+// participating in collectives without any goodbye.
+type killingParallel struct {
+	*ParallelTrainer
+	ft        *FaultTransport
+	failAfter int
+	calls     int
+}
+
+var errSimKill = errors.New("simulated rank kill")
+
+func (k *killingParallel) TrainEpoch(res int) (float64, error) {
+	if k.calls >= k.failAfter {
+		k.ft.Kill()
+		return 0, errSimKill
+	}
+	k.calls++
+	return k.ParallelTrainer.TrainEpoch(res)
+}
+
+func newTransportPT(t *testing.T, cfg core.Config, tr Transport) *ParallelTrainer {
+	t.Helper()
+	pt, err := NewParallelTrainer(ParallelConfig{
+		Transport:   tr,
+		Dim:         cfg.Dim,
+		Res:         cfg.FinestRes,
+		Samples:     cfg.Samples,
+		GlobalBatch: cfg.BatchSize,
+		LR:          cfg.LR,
+		Seed:        cfg.Seed,
+		Net:         cfg.Net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pt
+}
+
+// The elastic recovery contract, end to end: a 3-rank world trains with
+// rank 0 checkpointing every epoch; rank 2 is killed mid-run; the
+// survivors' epochs fail with deadline errors (not hangs); a reformed
+// 2-rank world resumes from the shared checkpoint and finishes — with
+// weights and losses bit-identical to a fresh 2-worker run resumed from
+// that same checkpoint. Epochs after the last snapshot are re-run at the
+// new world size; nothing saved is lost.
+func TestElasticShrinkResumeFromCheckpoint(t *testing.T) {
+	cfg := multigridCfg()
+	ckPath := t.TempDir() + "/elastic.ck"
+
+	ring := NewFaultRing(3, FaultConfig{OpTimeout: 500 * time.Millisecond})
+	pts := make([]*ParallelTrainer, 3)
+	for r := range pts {
+		pts[r] = newTransportPT(t, cfg, ring[r])
+		defer pts[r].Close()
+	}
+
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			opts := core.RunOptions{CheckpointEvery: 1}
+			if r == 0 {
+				// One writer: per-rank checkpoints could disagree about how
+				// far training got at the kill; rank 0's file is the single
+				// resume point every survivor reads.
+				opts.CheckpointPath = ckPath
+			}
+			var backend core.EpochBackend = pts[r]
+			if r == 2 {
+				backend = &killingParallel{ParallelTrainer: pts[r], ft: ring[r], failAfter: 3}
+			}
+			_, errs[r] = core.RunSchedule(cfg, backend, opts)
+		}(r)
+	}
+	wg.Wait()
+
+	if !errors.Is(errs[2], errSimKill) {
+		t.Fatalf("killed rank: %v, want the injected kill", errs[2])
+	}
+	for _, r := range []int{0, 1} {
+		if !errors.Is(errs[r], ErrDeadline) {
+			t.Fatalf("survivor rank %d: %v, want ErrDeadline from the silent peer", r, errs[r])
+		}
+	}
+	if _, err := os.Stat(ckPath); err != nil {
+		t.Fatalf("no checkpoint written before the kill: %v", err)
+	}
+
+	// Survivors reform as a 2-rank world and resume from the shared
+	// checkpoint. (In production each rank builds a fresh TCPTransport over
+	// the shrunken address list; the transport layer is interchangeable.)
+	ck, err := core.LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring2 := NewFaultRing(2, FaultConfig{OpTimeout: 10 * time.Second})
+	pts2 := make([]*ParallelTrainer, 2)
+	reps2 := make([]*core.Report, 2)
+	errs2 := make([]error, 2)
+	for r := range pts2 {
+		pts2[r] = newTransportPT(t, cfg, ring2[r])
+		defer pts2[r].Close()
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			reps2[r], errs2[r] = core.RunSchedule(cfg, pts2[r], core.RunOptions{Resume: ck})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs2 {
+		if err != nil {
+			t.Fatalf("reformed rank %d: %v", r, err)
+		}
+	}
+
+	// Reference: a fresh in-process 2-worker trainer resumed from the very
+	// same checkpoint. The reformed world must match it bit for bit.
+	fresh := newMultigridPT(t, cfg, 2)
+	defer fresh.Close()
+	repRef, err := core.RunSchedule(cfg, fresh, core.RunOptions{Resume: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		requireSameParams(t, "reformed rank vs fresh 2-worker", fresh.Net().Params(), pts2[r].Net().Params())
+		if reps2[r].FinalLoss != repRef.FinalLoss {
+			t.Fatalf("reformed rank %d final loss %v vs fresh %v", r, reps2[r].FinalLoss, repRef.FinalLoss)
+		}
+		if len(reps2[r].History) != len(repRef.History) {
+			t.Fatalf("reformed rank %d trained %d epochs vs fresh %d",
+				r, len(reps2[r].History), len(repRef.History))
+		}
+		for i := range repRef.History {
+			if reps2[r].History[i].Loss != repRef.History[i].Loss {
+				t.Fatalf("reformed rank %d epoch %d loss %v vs fresh %v — loss trajectories must match",
+					r, i, reps2[r].History[i].Loss, repRef.History[i].Loss)
+			}
+		}
+	}
+}

@@ -58,6 +58,17 @@ type ParallelConfig struct {
 	Net *unet.Config
 	// Data overrides the default Sobol dataset when non-nil.
 	Data DataSource
+	// Transport, when non-nil, makes this trainer one rank of a
+	// multi-process world: a single local replica is built over the given
+	// endpoint (e.g. a *TCPTransport) instead of Workers in-process
+	// replicas over a channel mesh. Workers must equal Transport.Peers()
+	// (or be 0, which adopts it). Batches are sharded by Transport.Rank()
+	// exactly as the in-process trainer shards by worker index and the
+	// collectives are the same rank-order Communicator, so a p-rank
+	// multi-process world trains bit-identically to Workers=p in-process.
+	// The caller owns the endpoint: Close does not close it, so the
+	// launcher can still send leave/abort frames after a failed epoch.
+	Transport Transport
 }
 
 // batchReuser is the optional DataSource fast path: rasterize a mini-batch
@@ -296,6 +307,9 @@ type ParallelTrainer struct {
 	Cfg  ParallelConfig
 	data DataSource
 
+	world int   // communicator size p (ranks across all processes)
+	ranks []int // global rank of each local replica
+
 	reps []*replica
 	trs  []Transport
 	cmds []chan workerCmd
@@ -307,7 +321,13 @@ type ParallelTrainer struct {
 // NewParallelTrainer validates cfg, builds one replica per worker, and
 // starts the long-lived worker goroutines.
 func NewParallelTrainer(cfg ParallelConfig) (*ParallelTrainer, error) {
-	if cfg.Workers < 1 {
+	if cfg.Transport != nil {
+		world := cfg.Transport.Peers()
+		if cfg.Workers != 0 && cfg.Workers != world {
+			return nil, fmt.Errorf("dist: Workers %d does not match Transport world size %d", cfg.Workers, world)
+		}
+		cfg.Workers = world
+	} else if cfg.Workers < 1 {
 		return nil, fmt.Errorf("dist: Workers must be >= 1, got %d", cfg.Workers)
 	}
 	if cfg.Dim != 2 && cfg.Dim != 3 {
@@ -338,28 +358,44 @@ func NewParallelTrainer(cfg ParallelConfig) (*ParallelTrainer, error) {
 		data = field.NewDataset(cfg.Samples, cfg.Dim)
 	}
 
-	pt := &ParallelTrainer{
-		Cfg:  cfg,
-		data: data,
-		reps: make([]*replica, cfg.Workers),
-		trs:  NewChannelRing(cfg.Workers),
-		cmds: make([]chan workerCmd, cfg.Workers),
-		res:  make(chan workerResult, cfg.Workers),
+	// One local replica per transport endpoint: the whole world in-process
+	// over a channel mesh, or a single rank of an external (TCP) world.
+	var trs []Transport
+	var ranks []int
+	if cfg.Transport != nil {
+		trs = []Transport{cfg.Transport}
+		ranks = []int{cfg.Transport.Rank()}
+	} else {
+		trs = NewChannelRing(cfg.Workers)
+		ranks = make([]int, cfg.Workers)
+		for w := range ranks {
+			ranks[w] = w
+		}
 	}
-	for w := 0; w < cfg.Workers; w++ {
+	pt := &ParallelTrainer{
+		Cfg:   cfg,
+		data:  data,
+		world: cfg.Workers,
+		ranks: ranks,
+		reps:  make([]*replica, len(trs)),
+		trs:   trs,
+		cmds:  make([]chan workerCmd, len(trs)),
+		res:   make(chan workerResult, len(trs)),
+	}
+	for w := range pt.reps {
 		net := probe
 		if w > 0 {
 			// Same config and seed: identical initial weights on every rank.
 			net = unet.New(ncfg)
 		}
-		r, err := newReplica(net, cfg.Dim, cfg.Workers, cfg.LR, pt.trs[w], cfg.BucketElems)
+		r, err := newReplica(net, cfg.Dim, pt.world, cfg.LR, pt.trs[w], cfg.BucketElems)
 		if err != nil {
 			return nil, err
 		}
 		pt.reps[w] = r
 		pt.cmds[w] = make(chan workerCmd, 1)
 	}
-	for w := 0; w < cfg.Workers; w++ {
+	for w := range pt.reps {
 		go pt.workerLoop(w)
 	}
 	return pt, nil
@@ -378,12 +414,12 @@ func (pt *ParallelTrainer) workerLoop(w int) {
 	}
 }
 
-// shard returns worker w's contiguous [lo, hi) slice of an n-sample batch,
-// balanced to within one sample. Workers with an empty shard still join
-// every allreduce.
-func (pt *ParallelTrainer) shard(w, n int) (int, int) {
-	p := pt.Cfg.Workers
-	return w * n / p, (w + 1) * n / p
+// shard returns global rank's contiguous [lo, hi) slice of an n-sample
+// batch, balanced to within one sample. Ranks with an empty shard still
+// join every allreduce.
+func (pt *ParallelTrainer) shard(rank, n int) (int, int) {
+	p := pt.world
+	return rank * n / p, (rank + 1) * n / p
 }
 
 // runEpoch executes one epoch on worker w at the given resolution: for
@@ -403,14 +439,15 @@ func (pt *ParallelTrainer) shard(w, n int) (int, int) {
 // slab with the reduced result during the all-gather.
 func (pt *ParallelTrainer) runEpoch(w, res int) (float64, error) {
 	r := pt.reps[w]
-	p := pt.Cfg.Workers
+	rank := pt.ranks[w]
+	p := pt.world
 	B := pt.Cfg.GlobalBatch
 	ns := pt.data.Len()
 
 	total := 0.0
 	for bStart := 0; bStart < ns; bStart += B {
 		bn := min(B, ns-bStart)
-		lo, hi := pt.shard(w, bn)
+		lo, hi := pt.shard(rank, bn)
 		if p == 1 {
 			// Whole batch is local: no collectives, no comm goroutine.
 			nu := r.nextBatch(pt.data, bStart+lo, hi-lo, res)
@@ -459,13 +496,14 @@ func (pt *ParallelTrainer) runEpoch(w, res int) (float64, error) {
 // without touching gradients or weights.
 func (pt *ParallelTrainer) evalEpoch(w, res int) (float64, error) {
 	r := pt.reps[w]
+	rank := pt.ranks[w]
 	B := pt.Cfg.GlobalBatch
 	ns := pt.data.Len()
 
 	total := 0.0
 	for bStart := 0; bStart < ns; bStart += B {
 		bn := min(B, ns-bStart)
-		lo, hi := pt.shard(w, bn)
+		lo, hi := pt.shard(rank, bn)
 		r.lossBuf[0] = 0
 		if hi > lo {
 			nu := r.nextBatch(pt.data, bStart+lo, hi-lo, res)
@@ -489,15 +527,19 @@ func (pt *ParallelTrainer) checkRes(res int) error {
 	return nil
 }
 
-// runAll dispatches one collective command to every worker and gathers the
-// result (rank 0's loss; identical on every replica by construction).
+// runAll dispatches one collective command to every local worker and
+// gathers the result (local replica 0's loss; every rank's loss is the
+// identical allreduced value by construction, so in a multi-process world
+// the single local replica already reports the global mean).
 //
 // For the duration of the epoch the tensor kernel parallelism is throttled
-// to GOMAXPROCS/Workers so the p in-process replicas do not oversubscribe
-// the CPU with their own parallel kernels — the analogue of pinning OpenMP
-// threads per MPI rank. The previous setting is restored before returning.
+// to GOMAXPROCS over the local replica count so in-process replicas do not
+// oversubscribe the CPU with their own parallel kernels — the analogue of
+// pinning OpenMP threads per MPI rank. (A multi-process rank has one local
+// replica and keeps the full budget; dividing cores between processes is
+// the launcher's job.) The previous setting is restored before returning.
 func (pt *ParallelTrainer) runAll(c workerCmd) (float64, error) {
-	prev := tensor.SetParallelism(max(1, runtime.GOMAXPROCS(0)/pt.Cfg.Workers))
+	prev := tensor.SetParallelism(max(1, runtime.GOMAXPROCS(0)/len(pt.reps)))
 	defer tensor.SetParallelism(prev)
 	for _, ch := range pt.cmds {
 		ch <- c
@@ -636,6 +678,11 @@ func (pt *ParallelTrainer) Params() []*nn.Param { return pt.reps[0].params }
 
 // Net returns replica 0's network.
 func (pt *ParallelTrainer) Net() *unet.UNet { return pt.reps[0].net }
+
+// World returns the communicator size p — the rank count across all
+// processes, which is Workers in-process or Transport.Peers() when the
+// trainer is one rank of an external world.
+func (pt *ParallelTrainer) World() int { return pt.world }
 
 // Close shuts down the worker and communication goroutines. The trainer
 // must not be used after Close; Close is idempotent.

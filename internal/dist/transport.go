@@ -123,13 +123,21 @@ func (t *channelTransport) Recv(from int, buf []float64) error {
 	}
 	msg := <-t.links[from][t.rank]
 	if len(msg) != len(buf) {
-		return fmt.Errorf("dist: rank %d expected %d values from rank %d, got %d",
+		err := fmt.Errorf("dist: rank %d expected %d values from rank %d, got %d",
 			t.rank, len(buf), from, len(msg))
+		t.putBuf(msg) // recycle even on the error path, or the buffer leaks
+		return err
 	}
 	copy(buf, msg)
+	t.putBuf(msg)
+	return nil
+}
+
+// putBuf returns a message buffer to the shared free list, dropping it when
+// the list is full.
+func (t *channelTransport) putBuf(msg []float64) {
 	select {
 	case t.free <- msg:
 	default: // free list full: let the buffer go
 	}
-	return nil
 }
