@@ -1,7 +1,8 @@
 GO ?= go
 BENCH_OUT ?= BENCH_pr5.json
+MGLINT := bin/mglint
 
-.PHONY: all build vet test race bench ci clean tcp-smoke
+.PHONY: all build vet test race bench ci clean tcp-smoke mglint lint
 
 all: build
 
@@ -14,11 +15,22 @@ vet:
 test:
 	$(GO) test ./...
 
-race:
-	$(GO) test -race ./internal/nn/ ./internal/tensor/ ./internal/dist/ ./internal/serve/
-	$(GO) test -race -short -run 'Checkpoint|Resume' ./internal/core/
+# mglint is the repo's own go/analysis suite (internal/analysis); it runs
+# both standalone and as a go vet -vettool. See DESIGN.md "Static analysis
+# & enforced invariants".
+mglint:
+	$(GO) build -o $(MGLINT) ./cmd/mglint
 
-ci: vet test
+lint: mglint
+	$(GO) vet -vettool=$(MGLINT) ./...
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
+
+race:
+	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/nn/ ./internal/tensor/ ./internal/dist/ ./internal/serve/
+
+ci: lint test
 
 # Elastic fault-tolerance smoke: 3-rank TCP world on loopback, one rank
 # SIGKILL'd mid-run, survivors reform and finish from the checkpoint.

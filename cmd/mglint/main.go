@@ -1,0 +1,165 @@
+// mglint runs the repo's project-specific static analyzers — the
+// determinism, hot-path-allocation and error-handling invariants that
+// after-the-fact tests used to guard one instance at a time.
+//
+// Two modes share one analyzer suite (internal/analysis/all):
+//
+//	mglint [-only name,name] [packages]
+//	    standalone: load packages (default ./...) through `go list
+//	    -export` and report every unsuppressed diagnostic. Exit 1 if any.
+//
+//	go vet -vettool=$(which mglint) ./...
+//	    vettool: the go command probes -flags and -V=full, then invokes
+//	    mglint once per build unit with a vet.cfg JSON file. Diagnostics
+//	    go to stderr as file:line:col: messages with exit status 2,
+//	    exactly like the bundled vet.
+//
+// Suppressions: //mglint:ignore <analyzer> <reason> (line) and
+// //mglint:ignore-file <analyzer> <reason> (file). The reason is
+// mandatory; a bare ignore is itself a diagnostic.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mgdiffnet/internal/analysis"
+	"mgdiffnet/internal/analysis/all"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The go vet protocol probes come before flag parsing: the argument
+	// forms are fixed by cmd/go, not by this tool.
+	for _, a := range args {
+		switch {
+		case a == "-flags":
+			return printFlags()
+		case strings.HasPrefix(a, "-V="):
+			return printVersion()
+		}
+	}
+	fs := flag.NewFlagSet("mglint", flag.ExitOnError)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runUnit(rest[0], analyzers)
+	}
+	return runStandalone(rest, analyzers)
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	suite := all.Analyzers()
+	if only == "" {
+		return suite, nil
+	}
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("mglint: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		// Packages share one FileSet per Load, so any package resolves it.
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pkgs[0].Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 1
+}
+
+func runUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
+	pkg, cfg, err := analysis.LoadUnit(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if cfg != nil {
+		if err := cfg.WriteVetx(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if pkg == nil {
+		return 0 // out-of-module dependency unit: nothing to check
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 2 // the go command's "diagnostics reported" status
+}
+
+// printFlags answers the go command's -flags probe: the JSON schema of
+// flags the tool accepts, so `go vet -vettool=mglint -only=...` works.
+func printFlags() int {
+	fmt.Println(`[{"Name":"only","Bool":false,"Usage":"comma-separated analyzer names to run"}]`)
+	return 0
+}
+
+// printVersion answers -V=full. The output is the go command's cache key
+// for vet results, so it must change whenever the binary does: hash the
+// executable itself.
+func printVersion() int {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil)[:12])
+			}
+			if err := f.Close(); err != nil {
+				id = "unknown"
+			}
+		}
+	}
+	fmt.Printf("mglint version devel buildID=%s\n", id)
+	return 0
+}

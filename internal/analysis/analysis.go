@@ -1,0 +1,113 @@
+// Package analysis is a self-contained static-analysis framework for the
+// repo's own invariants: a stdlib-only reimplementation of the core of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic), a package
+// loader built on `go list -export` build-cache export data, and a driver
+// that understands the module's //mglint:ignore suppression directives.
+//
+// The toolchain image has no network access, so the x/tools module cannot
+// be fetched; everything here is implemented on go/ast, go/types,
+// go/importer and the go command. The API deliberately mirrors x/tools so
+// analyzers port in either direction mechanically.
+//
+// Analyzers live in internal/analysis/passes/<name>; the aggregate
+// registry is internal/analysis/all; the CLI and `go vet -vettool` shim is
+// cmd/mglint.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer is one named invariant check. Run inspects a single
+// type-checked package through the Pass and reports findings via
+// Pass.Reportf; it must not retain the Pass.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in directives and flags
+	Doc  string // one-paragraph description of the invariant it guards
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned in the loaded FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // name of the reporting analyzer (filled by the driver)
+}
+
+// A Pass hands one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t := p.Info.TypeOf(e); t != nil {
+		return t
+	}
+	return nil
+}
+
+// newInfo allocates a types.Info with every map analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics (suppressions already applied, see directive.go) sorted by
+// position. Suppressed findings are discarded; malformed //mglint:ignore
+// directives surface as diagnostics themselves so a suppression can never
+// silently rot without a reason.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := collectDirectives(pkg.Fset, pkg.Files)
+		out = append(out, dirs.malformed...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				if dirs.suppressed(pkg.Fset, d) {
+					return
+				}
+				out = append(out, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

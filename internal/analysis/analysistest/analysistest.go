@@ -1,0 +1,107 @@
+// Package analysistest runs one analyzer over a golden package under
+// testdata/ and diffs its diagnostics against `// want "regexp"`
+// expectation comments, mirroring the x/tools harness of the same name.
+//
+// A golden package is a directory of plain Go files (testdata/ is
+// invisible to the go tool, so they never build into the module). The
+// directory's base name becomes the package's import path, which lets a
+// test stand up a package that analyzers treat as determinism-critical
+// (e.g. testdata/src/dist) next to one they must ignore.
+//
+// Expectations are trailing comments on the offending line:
+//
+//	x := time.Now() // want `wall-clock`
+//
+// Each `want` may carry several quoted regexps; every diagnostic on the
+// line must match one of them, and every regexp must be matched by at
+// least one diagnostic on the line. Lines with diagnostics but no want,
+// and wants with no diagnostic, both fail the test. Because packages run
+// through analysis.Run, //mglint:ignore directives in golden files are
+// honored — which is how the suppression machinery itself gets golden
+// coverage.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mgdiffnet/internal/analysis"
+)
+
+// wantRe pulls the quoted regexps out of a want comment. Both `...`
+// and "..." quoting are accepted; backquotes avoid double-escaping.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<pkg>, applies a (through analysis.Run, so
+// directives are live) and diffs diagnostics against want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	p, err := analysis.LoadDir(dir, pkg)
+	if err != nil {
+		t.Fatalf("loading golden package %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				ms := wantRe.FindAllStringSubmatch(text[len("want "):], -1)
+				if len(ms) == 0 {
+					t.Errorf("%s:%d: malformed want comment (no quoted pattern): %s", pos.Filename, pos.Line, c.Text)
+					continue
+				}
+				for _, m := range ms {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: pat, re: re})
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.Run([]*analysis.Package{p}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+	}
+
+	for _, d := range diags {
+		pos := p.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mgdiffnet/internal/analysis"
+	"mgdiffnet/internal/analysis/all"
+)
+
+// TestMglintCleanOnRepo is the meta-test: the whole module, including
+// its tests, must hold every invariant the analyzers enforce — zero
+// unsuppressed diagnostics. A failure here means either a real
+// regression (fix it) or a deliberate exception (waive it in place with
+// //mglint:ignore <analyzer> <reason>).
+func TestMglintCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loading and type-checking the full module is not short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	diags, err := analysis.Run(pkgs, all.Analyzers())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	// Load threads one FileSet through every package, so any package's
+	// Fset resolves any diagnostic's position.
+	for _, d := range diags {
+		t.Errorf("%s: %s (%s)", pkgs[0].Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+}

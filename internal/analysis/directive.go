@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives. mglint is allowed to be strict because every
+// finding can be waived in place — but only with a recorded reason, so
+// the waiver documents itself:
+//
+//	//mglint:ignore <analyzer> <reason>       line-scoped: suppresses
+//	    <analyzer> findings on the same line, or on the next line when
+//	    the directive stands alone on its own line.
+//	//mglint:ignore-file <analyzer> <reason>  file-scoped: suppresses all
+//	    <analyzer> findings in the file. Use for files whose whole job is
+//	    exempt (e.g. wall-clock deadlines in the TCP transport).
+//
+// A directive with no reason is itself reported as a diagnostic; an
+// undocumented suppression is treated as worse than the finding it hides.
+//
+// The //mglint:hotpath function annotation is consumed directly by the
+// hotalloc analyzer (see passes/hotalloc) and is not handled here.
+
+const (
+	ignorePrefix     = "//mglint:ignore "
+	ignoreFilePrefix = "//mglint:ignore-file "
+	bareIgnore       = "//mglint:ignore"
+	bareIgnoreFile   = "//mglint:ignore-file"
+)
+
+type directives struct {
+	// line suppressions: file -> line -> set of analyzer names
+	lines map[string]map[int]map[string]bool
+	// file suppressions: file -> set of analyzer names
+	files map[string]map[string]bool
+	// malformed directives, reported as diagnostics in their own right
+	malformed []Diagnostic
+}
+
+// collectDirectives scans every comment in the package once.
+func collectDirectives(fset *token.FileSet, files []*ast.File) *directives {
+	d := &directives{
+		lines: make(map[string]map[int]map[string]bool),
+		files: make(map[string]map[string]bool),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d.add(fset, c)
+			}
+		}
+	}
+	return d
+}
+
+func (d *directives) add(fset *token.FileSet, c *ast.Comment) {
+	text := strings.TrimRight(c.Text, " \t")
+	var rest string
+	var fileScoped bool
+	switch {
+	case strings.HasPrefix(text, ignoreFilePrefix):
+		rest, fileScoped = text[len(ignoreFilePrefix):], true
+	case strings.HasPrefix(text, ignorePrefix):
+		rest, fileScoped = text[len(ignorePrefix):], false
+	case text == bareIgnore || text == bareIgnoreFile:
+		d.malformed = append(d.malformed, Diagnostic{
+			Pos:      c.Pos(),
+			Message:  "mglint:ignore needs an analyzer name and a reason: //mglint:ignore <analyzer> <why this finding is acceptable>",
+			Analyzer: "mglint",
+		})
+		return
+	default:
+		return
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 { // analyzer plus at least one word of reason
+		d.malformed = append(d.malformed, Diagnostic{
+			Pos:      c.Pos(),
+			Message:  "mglint:ignore requires a reason after the analyzer name; an undocumented suppression is not allowed",
+			Analyzer: "mglint",
+		})
+		return
+	}
+	name := fields[0]
+	pos := fset.Position(c.Pos())
+	if fileScoped {
+		set := d.files[pos.Filename]
+		if set == nil {
+			set = make(map[string]bool)
+			d.files[pos.Filename] = set
+		}
+		set[name] = true
+		return
+	}
+	byLine := d.lines[pos.Filename]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		d.lines[pos.Filename] = byLine
+	}
+	// A trailing comment suppresses its own line; a standalone directive
+	// line suppresses the next line. Registering both is harmless — a
+	// directive line contains no code of its own.
+	for _, line := range []int{pos.Line, pos.Line + 1} {
+		set := byLine[line]
+		if set == nil {
+			set = make(map[string]bool)
+			byLine[line] = set
+		}
+		set[name] = true
+	}
+}
+
+// suppressed reports whether diagnostic d is waived by a directive.
+func (ds *directives) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	if set := ds.files[pos.Filename]; set[d.Analyzer] {
+		return true
+	}
+	if byLine := ds.lines[pos.Filename]; byLine != nil {
+		if set := byLine[pos.Line]; set[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}

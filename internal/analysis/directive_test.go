@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// posOn returns a Pos on the given 1-based line of the single parsed file.
+func posOn(fset *token.FileSet, line int) token.Pos {
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		pos = f.LineStart(line)
+		return false
+	})
+	return pos
+}
+
+func TestLineDirectiveSuppressesSameAndNextLine(t *testing.T) {
+	src := `package p
+
+//mglint:ignore detrand telemetry only
+var a = 1
+var b = 2
+`
+	fset, files := parseOne(t, src)
+	d := collectDirectives(fset, files)
+	if len(d.malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", d.malformed)
+	}
+	// Line 3 is the directive line, line 4 the code it guards.
+	for _, line := range []int{3, 4} {
+		if !d.suppressed(fset, Diagnostic{Pos: posOn(fset, line), Analyzer: "detrand"}) {
+			t.Errorf("line %d: detrand diagnostic not suppressed", line)
+		}
+	}
+	if d.suppressed(fset, Diagnostic{Pos: posOn(fset, 5), Analyzer: "detrand"}) {
+		t.Error("line 5: suppression leaked past the next line")
+	}
+	if d.suppressed(fset, Diagnostic{Pos: posOn(fset, 4), Analyzer: "hotalloc"}) {
+		t.Error("line 4: suppression leaked to a different analyzer")
+	}
+}
+
+func TestTrailingDirectiveSuppressesOwnLine(t *testing.T) {
+	src := `package p
+
+var a = 1 //mglint:ignore maporder exact integers
+`
+	fset, files := parseOne(t, src)
+	d := collectDirectives(fset, files)
+	if !d.suppressed(fset, Diagnostic{Pos: posOn(fset, 3), Analyzer: "maporder"}) {
+		t.Error("trailing directive did not suppress its own line")
+	}
+}
+
+func TestFileDirectiveSuppressesWholeFile(t *testing.T) {
+	src := `package p
+
+//mglint:ignore-file detrand transport deadlines are wall-clock by nature
+var a = 1
+var b = 2
+`
+	fset, files := parseOne(t, src)
+	d := collectDirectives(fset, files)
+	for _, line := range []int{2, 4, 5} {
+		if !d.suppressed(fset, Diagnostic{Pos: posOn(fset, line), Analyzer: "detrand"}) {
+			t.Errorf("line %d: file-scoped suppression missed", line)
+		}
+	}
+	if d.suppressed(fset, Diagnostic{Pos: posOn(fset, 4), Analyzer: "closecheck"}) {
+		t.Error("file-scoped suppression leaked to a different analyzer")
+	}
+}
+
+func TestDirectiveWithoutReasonIsMalformed(t *testing.T) {
+	for _, src := range []string{
+		"package p\n\n//mglint:ignore\nvar a = 1\n",
+		"package p\n\n//mglint:ignore detrand\nvar a = 1\n",
+		"package p\n\n//mglint:ignore-file\nvar a = 1\n",
+		"package p\n\n//mglint:ignore-file hotalloc\nvar a = 1\n",
+	} {
+		fset, files := parseOne(t, src)
+		d := collectDirectives(fset, files)
+		if len(d.malformed) != 1 {
+			t.Errorf("source %q: got %d malformed diagnostics, want 1", src, len(d.malformed))
+			continue
+		}
+		if got := d.malformed[0].Analyzer; got != "mglint" {
+			t.Errorf("malformed directive attributed to %q, want mglint", got)
+		}
+		if !strings.Contains(d.malformed[0].Message, "reason") {
+			t.Errorf("malformed-directive message should demand a reason, got %q", d.malformed[0].Message)
+		}
+		// A reasonless directive must not suppress anything either.
+		if d.suppressed(fset, Diagnostic{Pos: posOn(fset, 4), Analyzer: "detrand"}) {
+			t.Errorf("source %q: malformed directive still suppressed a finding", src)
+		}
+	}
+}

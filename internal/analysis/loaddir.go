@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LoadDir parses and type-checks every .go file in dir as a single
+// package with import path pkgPath. It exists for analysistest golden
+// packages, which live under testdata/ (invisible to the go tool) and
+// import only the standard library; their dependencies' export data is
+// resolved through `go list -export`, same as regular loads.
+func LoadDir(dir, pkgPath string) (*Package, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("mglint: no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, names)
+	if err != nil {
+		return nil, err
+	}
+
+	seen := map[string]bool{}
+	var imports []string
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || path == "unsafe" || seen[path] {
+				continue
+			}
+			seen[path] = true
+			imports = append(imports, path)
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		sort.Strings(imports)
+		args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, imports...)
+		out, err := goOutput(dir, args...)
+		if err != nil {
+			return nil, fmt.Errorf("mglint: resolving testdata imports: %v", err)
+		}
+		entries, err := decodeList(strings.NewReader(out))
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.Export != "" {
+				exports[e.ImportPath] = e.Export
+			}
+		}
+	}
+
+	tpkg, info, err := typecheck(fset, pkgPath, files, exportImporter(fset, nil, exports))
+	if err != nil {
+		return nil, fmt.Errorf("mglint: type-checking %s: %v", dir, err)
+	}
+	return &Package{Path: pkgPath, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

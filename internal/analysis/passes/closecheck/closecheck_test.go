@@ -1,0 +1,12 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"mgdiffnet/internal/analysis/analysistest"
+	"mgdiffnet/internal/analysis/passes/closecheck"
+)
+
+func TestClosecheck(t *testing.T) {
+	analysistest.Run(t, "testdata", closecheck.Analyzer, "closecheck")
+}

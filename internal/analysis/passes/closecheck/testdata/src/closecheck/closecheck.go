@@ -1,0 +1,90 @@
+// Golden package for closecheck: dropped errors at the commit points of
+// buffered write paths.
+package closecheck
+
+import (
+	"bufio"
+	"encoding/csv"
+	"os"
+)
+
+func discardedClose(f *os.File) {
+	f.Close() // want `error from os.File.Close dropped`
+}
+
+func explicitDiscard(f *os.File) {
+	_ = f.Close() // assigning to blank is the sanctioned deliberate discard
+}
+
+func checkedClose(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func discardedFlush(f *os.File) {
+	w := bufio.NewWriter(f)
+	w.Flush() // want `error from bufio.Writer.Flush dropped`
+}
+
+func deferredFlush(f *os.File) {
+	w := bufio.NewWriter(f)
+	defer w.Flush() // want `deferred Flush discards its error`
+	_, _ = w.WriteString("x")
+}
+
+func csvFlushUnchecked(f *os.File) {
+	w := csv.NewWriter(f)
+	w.Flush() // want `csv.Writer.Flush without checking Error`
+}
+
+func csvFlushChecked(f *os.File) error {
+	w := csv.NewWriter(f)
+	w.Flush()
+	return w.Error()
+}
+
+func csvFlushDeferred(f *os.File) {
+	w := csv.NewWriter(f)
+	defer w.Flush() // want `deferred csv.Writer.Flush can never have its Error\(\) checked`
+}
+
+func deferredCloseOnWriteHandle(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred Close on a file opened for writing`
+	_, err = f.WriteString("data")
+	return err
+}
+
+func deferredCloseOnReadHandle(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // read-only handle: Close cannot lose buffered writes
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return err
+}
+
+func namedReturnClose(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.WriteString("data")
+	return err
+}
+
+func waivedClose(f *os.File) {
+	f.Close() //mglint:ignore closecheck read-side pipe end; close error carries no data-loss signal
+}

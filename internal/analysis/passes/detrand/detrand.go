@@ -1,0 +1,96 @@
+// Package detrand forbids ambient nondeterminism — the global math/rand
+// source and wall-clock reads — in the packages whose outputs are pinned
+// bit-exact by the distributed-training and checkpoint test contracts.
+//
+// The repo's reproducibility story (same seed + same world size ⇒ same
+// bits, TCP world ≡ in-process world, resume ≡ uninterrupted) only holds
+// because every random draw flows from an explicitly seeded *rand.Rand
+// and no numeric path consults the clock. A single rand.Float64() or
+// time.Now()-derived value in core, dist, nn, tensor, unet or field
+// silently voids those contracts, and nothing but this check would notice
+// until a bit-exactness test flakes.
+//
+// Flagged in determinism-critical packages (non-test files only):
+//   - any package-level function of math/rand or math/rand/v2 that draws
+//     from the shared global source (rand.Intn, rand.Float64, rand.Seed,
+//     rand.Shuffle, ...). Constructors (New, NewSource, NewPCG,
+//     NewChaCha8, NewZipf) are allowed: a *rand.Rand built from an
+//     explicit seed is the sanctioned way to be random.
+//   - time.Now. Wall-clock telemetry and I/O deadlines are legitimate but
+//     must be waived in place (//mglint:ignore detrand <reason>), keeping
+//     every clock read in a numeric package visibly accounted for.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"strings"
+
+	"mgdiffnet/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global math/rand and time.Now in determinism-critical packages",
+	Run:  run,
+}
+
+// criticalPkgs are the final import-path segments of packages under the
+// bit-exactness contract. Matching on the last segment keeps the analyzer
+// testable from golden packages outside the module.
+var criticalPkgs = map[string]bool{
+	"core":   true,
+	"dist":   true,
+	"nn":     true,
+	"tensor": true,
+	"unet":   true,
+	"field":  true,
+}
+
+// seededConstructors build isolated generators from explicit seeds and are
+// therefore deterministic under the caller's control.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !criticalPkgs[path.Base(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue // tests may time out and jitter freely
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				return true // methods on a seeded *rand.Rand are fine
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if !seededConstructors[fn.Name()] {
+					pass.Reportf(sel.Pos(), "%s.%s draws from the process-global random source; use an explicitly seeded *rand.Rand so runs stay bit-reproducible", path.Base(fn.Pkg().Path()), fn.Name())
+				}
+			case "time":
+				if fn.Name() == "Now" {
+					pass.Reportf(sel.Pos(), "time.Now in a determinism-critical package; derive values from the schedule or seed, or waive with //mglint:ignore detrand <reason> if this is telemetry or an I/O deadline")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

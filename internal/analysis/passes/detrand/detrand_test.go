@@ -1,0 +1,16 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"mgdiffnet/internal/analysis/analysistest"
+	"mgdiffnet/internal/analysis/passes/detrand"
+)
+
+func TestDetrandCriticalPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer, "dist")
+}
+
+func TestDetrandNonCriticalPackageIsSilent(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer, "experiments")
+}

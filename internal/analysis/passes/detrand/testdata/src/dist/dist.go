@@ -1,0 +1,29 @@
+// Golden package for detrand: the directory base name "dist" makes this
+// a determinism-critical package.
+package dist
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalSource() float64 {
+	x := rand.Float64() // want `process-global random source`
+	n := rand.Intn(10)  // want `process-global random source`
+	return x + float64(n)
+}
+
+func seededIsFine() float64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Float64() // methods on a seeded *rand.Rand are allowed
+}
+
+func wallClock() int64 {
+	t := time.Now() // want `time.Now in a determinism-critical package`
+	return t.Unix()
+}
+
+func waivedTelemetry() int64 {
+	t := time.Now() //mglint:ignore detrand telemetry timestamp, never feeds the numeric path
+	return t.Unix()
+}

@@ -1,0 +1,12 @@
+// Test files are exempt even in critical packages: tests may jitter and
+// time out freely.
+package dist
+
+import (
+	"math/rand"
+	"time"
+)
+
+func testOnlyJitter() time.Duration {
+	return time.Duration(rand.Intn(10)) * time.Since(time.Now())
+}

@@ -1,0 +1,12 @@
+// Golden package for detrand's negative case: "experiments" is not a
+// determinism-critical package, so nothing here is flagged.
+package experiments
+
+import (
+	"math/rand"
+	"time"
+)
+
+func freeToJitter() float64 {
+	return rand.Float64() + float64(time.Now().Unix())
+}

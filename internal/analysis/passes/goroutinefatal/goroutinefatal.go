@@ -1,0 +1,103 @@
+// Package goroutinefatal flags t.Fatal-family calls made from goroutines
+// spawned inside tests. The testing package documents that FailNow (and
+// everything built on it: Fatal, Fatalf, Skip, Skipf, SkipNow) must be
+// called from the goroutine running the Test function — from any other
+// goroutine it stops that goroutine via runtime.Goexit without failing
+// or ending the test, which at best hangs the test and at worst lets a
+// broken run pass. The transport and serve suites are heavily
+// concurrent, so this mistake is one refactor away at all times; the
+// correct pattern is t.Error + early return, or sending the error to
+// the test goroutine over a channel.
+package goroutinefatal
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mgdiffnet/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinefatal",
+	Doc:  "flag t.Fatal/t.Skip called from goroutines spawned in tests",
+	Run:  run,
+}
+
+var fatalMethods = map[string]bool{
+	"Fatal": true, "Fatalf": true, "FailNow": true,
+	"Skip": true, "Skipf": true, "SkipNow": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoroutine(pass, lit.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoroutine walks the goroutine body, skipping nested go statements
+// (they are visited by the outer Inspect in their own right).
+func checkGoroutine(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !fatalMethods[sel.Sel.Name] {
+			return true
+		}
+		if !isTestingReceiver(pass, sel.X) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "%s.%s inside a goroutine spawned by the test: FailNow/SkipNow only exits the calling goroutine, so the test hangs or passes spuriously; use %s.Error and return, or report over a channel", receiverName(sel.X), sel.Sel.Name, receiverName(sel.X))
+		return true
+	})
+}
+
+// isTestingReceiver reports whether e has type *testing.T, *testing.B,
+// *testing.F or the testing.TB interface.
+func isTestingReceiver(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "testing" {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "T", "B", "F", "TB":
+		return true
+	}
+	return false
+}
+
+func receiverName(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "t"
+}

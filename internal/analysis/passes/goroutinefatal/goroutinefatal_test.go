@@ -1,0 +1,12 @@
+package goroutinefatal_test
+
+import (
+	"testing"
+
+	"mgdiffnet/internal/analysis/analysistest"
+	"mgdiffnet/internal/analysis/passes/goroutinefatal"
+)
+
+func TestGoroutinefatal(t *testing.T) {
+	analysistest.Run(t, "testdata", goroutinefatal.Analyzer, "goroutinefatal")
+}

@@ -1,0 +1,56 @@
+// Golden package for goroutinefatal: t.Fatal-family calls from
+// goroutines spawned inside tests.
+package goroutinefatal
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFatalInGoroutine(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t.Fatal("boom") // want `t.Fatal inside a goroutine spawned by the test`
+	}()
+	wg.Wait()
+}
+
+func TestFatalfInGoroutine(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t.Fatalf("boom %d", 1) // want `t.Fatalf inside a goroutine spawned by the test`
+	}()
+	<-done
+}
+
+func TestSkipInGoroutine(t *testing.T) {
+	go func() {
+		t.SkipNow() // want `t.SkipNow inside a goroutine spawned by the test`
+	}()
+}
+
+func TestErrorInGoroutineIsFine(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t.Errorf("reported without stopping the goroutine")
+	}()
+	<-done
+}
+
+func TestFatalOnTestGoroutineIsFine(t *testing.T) {
+	t.Fatal("called from the goroutine running the Test function")
+}
+
+func helperSpawns(tb testing.TB) {
+	go func() {
+		tb.Fatal("boom") // want `tb.Fatal inside a goroutine spawned by the test`
+	}()
+}
+
+func TestViaHelper(t *testing.T) {
+	helperSpawns(t)
+}

@@ -1,0 +1,301 @@
+// Package hotalloc enforces alloc-free steady state in functions
+// annotated //mglint:hotpath — the paths whose allocation budgets the
+// AllocsPerRun guards pin (flat-Adam sweep, rank-order collectives,
+// ForwardInto, serve dispatch). The benchmark guard catches a regression
+// after it lands; this analyzer catches it in review, at the line that
+// allocates.
+//
+// Inside an annotated function it flags:
+//
+//   - make and new: fresh heap state per call. The grow-only scratch
+//     idiom is allowed — a make guarded by an enclosing `if` testing
+//     cap or len amortizes to zero and is how the communicator and
+//     arena manage scratch;
+//   - append: growth allocates and copies. Hot paths write into
+//     pre-sized buffers instead;
+//   - go statements: a goroutine plus closure environment per call;
+//   - closures that escape: a func literal passed as an argument,
+//     returned, stored, or deferred carries a heap-allocated
+//     environment per call. A literal bound to a local variable that is
+//     only ever called directly stays on the stack and is allowed;
+//   - &CompositeLit: a fresh heap object per call;
+//   - interface boxing: passing a non-pointer-shaped concrete value
+//     (ints, floats, strings, slices, structs) into an interface
+//     parameter allocates. Pointer-shaped values (pointers, maps,
+//     channels, funcs) fit the interface word and do not.
+//
+// Early-exit blocks that end in return or panic — argument validation,
+// error propagation — are cold by construction and exempt, so hot
+// functions keep honest fmt.Errorf error paths without waivers.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mgdiffnet/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocation sources in //mglint:hotpath functions",
+	Run:  run,
+}
+
+const marker = "//mglint:hotpath"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			newChecker(pass, fd).walk(fd.Body)
+		}
+	}
+	return nil
+}
+
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimRight(c.Text, " \t") == marker {
+			return true
+		}
+	}
+	return false
+}
+
+type checker struct {
+	pass *analysis.Pass
+	fd   *ast.FuncDecl
+	cold map[ast.Node]bool     // early-exit blocks, exempt from checks
+	safe map[*ast.FuncLit]bool // literals bound to locals that never escape
+}
+
+func newChecker(pass *analysis.Pass, fd *ast.FuncDecl) *checker {
+	c := &checker{pass: pass, fd: fd, cold: make(map[ast.Node]bool), safe: make(map[*ast.FuncLit]bool)}
+	c.markCold()
+	c.markSafeLits()
+	return c
+}
+
+// markCold records if/else and case bodies that terminate in return or
+// panic: validation and error-propagation branches, never steady state.
+func (c *checker) markCold() {
+	ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if blockExits(n.Body) {
+				c.cold[n.Body] = true
+			}
+			if els, ok := n.Else.(*ast.BlockStmt); ok && blockExits(els) {
+				c.cold[els] = true
+			}
+		case *ast.CaseClause:
+			if len(n.Body) > 0 && stmtExits(n.Body[len(n.Body)-1]) {
+				for _, s := range n.Body {
+					c.cold[s] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func blockExits(b *ast.BlockStmt) bool {
+	return len(b.List) > 0 && stmtExits(b.List[len(b.List)-1])
+}
+
+func stmtExits(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// markSafeLits records func literals of the non-escaping shape
+// `f := func(...){...}` where every use of f is a direct call.
+func (c *checker) markSafeLits() {
+	callees := make(map[*ast.Ident]bool)
+	ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				callees[id] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok || i >= len(as.Lhs) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := c.pass.Info.Defs[id]
+			if obj == nil {
+				continue
+			}
+			escapes := false
+			ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+				use, ok := n.(*ast.Ident)
+				if ok && c.pass.Info.Uses[use] == obj && !callees[use] {
+					escapes = true
+				}
+				return true
+			})
+			if !escapes {
+				c.safe[lit] = true
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if c.cold[n] {
+			return false // early-exit branch: exempt
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					c.pass.Reportf(n.Pos(), "composite literal address in hot path allocates; hoist it to a reused field or variable")
+				}
+			}
+		case *ast.GoStmt:
+			c.pass.Reportf(n.Pos(), "go statement in hot path allocates a goroutine and closure per call")
+			return false // don't also flag its func literal
+		case *ast.FuncLit:
+			if !c.safe[n] {
+				c.pass.Reportf(n.Pos(), "func literal escapes in hot path: its closure environment is heap-allocated per call")
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := c.pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if !c.capGuarded(call) {
+					c.pass.Reportf(call.Pos(), "make in hot path allocates per call; use a grow-only scratch buffer (make guarded by `if cap(buf) < n`)")
+				}
+			case "new":
+				c.pass.Reportf(call.Pos(), "new in hot path allocates per call; reuse a field or stack value")
+			case "append":
+				c.pass.Reportf(call.Pos(), "append in hot path may grow and copy; write into a pre-sized buffer")
+			}
+			return
+		}
+	}
+	c.checkBoxing(call)
+}
+
+// capGuarded reports whether the make call sits inside an if whose
+// condition tests cap or len — the sanctioned grow-only scratch idiom.
+func (c *checker) capGuarded(call *ast.CallExpr) bool {
+	guarded := false
+	ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || call.Pos() < ifs.Body.Pos() || call.End() > ifs.Body.End() {
+			return true
+		}
+		if condUsesCapOrLen(ifs.Cond) {
+			guarded = true
+		}
+		return true
+	})
+	return guarded
+}
+
+func condUsesCapOrLen(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkBoxing flags non-pointer-shaped concrete values passed into
+// interface parameters.
+func (c *checker) checkBoxing(call *ast.CallExpr) {
+	sigType := c.pass.TypeOf(call.Fun)
+	if sigType == nil {
+		return
+	}
+	sig, ok := sigType.Underlying().(*types.Signature)
+	if !ok {
+		return // conversion or builtin
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice: no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		} else {
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := c.pass.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || pointerShaped(at) {
+			continue
+		}
+		if tv, ok := c.pass.Info.Types[arg]; ok && tv.IsNil() {
+			continue
+		}
+		c.pass.Reportf(arg.Pos(), "value of type %s boxed into interface parameter in hot path: the conversion heap-allocates per call", at)
+	}
+}
+
+// pointerShaped reports types that fit the interface data word without
+// allocation.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

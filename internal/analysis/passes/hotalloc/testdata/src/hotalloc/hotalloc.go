@@ -1,0 +1,90 @@
+// Golden package for hotalloc: allocation sources inside functions
+// annotated //mglint:hotpath.
+package hotalloc
+
+import "fmt"
+
+type state struct {
+	buf   []float64
+	boxed interface{}
+}
+
+func sinkFunc(f func())            {}
+func sinkIface(v interface{})      {}
+func sinkPtr(p *state)             {}
+func variadic(vs ...interface{})   {}
+func forward(vs ...interface{})    { variadic(vs...) }
+func takesSlice(s []float64) int   { return len(s) }
+func takesString(s string) int     { return len(s) }
+func helper(lo, hi int) (n int)    { return hi - lo }
+func notAnnotated(n int) []float64 { return make([]float64, n) }
+
+//mglint:hotpath
+func hotAllocations(s *state, n int) {
+	x := make([]float64, n)    // want `make in hot path allocates per call`
+	p := new(state)            // want `new in hot path allocates per call`
+	s.buf = append(s.buf, 1.0) // want `append in hot path may grow and copy`
+	q := &state{}              // want `composite literal address in hot path allocates`
+	_ = x
+	_ = p
+	_ = q
+}
+
+//mglint:hotpath
+func hotGrowOnlyScratch(s *state, n int) []float64 {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n) // grow-only scratch: amortizes to zero
+	}
+	return s.buf[:n]
+}
+
+//mglint:hotpath
+func hotColdPath(s *state, n int) error {
+	if n < 0 {
+		// Early exit ending in return is cold: boxing n into Errorf's
+		// variadic interface parameter is exempt here.
+		return fmt.Errorf("bad size %d", n)
+	}
+	_ = takesSlice(s.buf)
+	return nil
+}
+
+// hotGoroutine has prose in its doc comment above the annotation —
+// the gofmt'd form of an annotated exported function.
+//
+//mglint:hotpath
+func hotGoroutine(n int) {
+	go helper(0, n) // want `go statement in hot path allocates a goroutine`
+}
+
+//mglint:hotpath
+func hotEscapingClosure(n int) {
+	sinkFunc(func() { _ = n }) // want `func literal escapes in hot path`
+}
+
+//mglint:hotpath
+func hotLocalClosure(n int) int {
+	square := func(x int) int { return x * x }
+	return square(n)
+}
+
+//mglint:hotpath
+func hotBoxing(s *state, v float64) {
+	sinkIface(v)              // want `value of type float64 boxed into interface parameter`
+	sinkIface(s)              // pointer-shaped: fits the interface word, no allocation
+	sinkPtr(s)                // concrete pointer parameter: no interface involved
+	_ = takesString("static") // string into string parameter: no boxing
+}
+
+//mglint:hotpath
+func hotVariadicBoxing(n int, vs []interface{}) {
+	variadic(n)     // want `value of type int boxed into interface parameter`
+	variadic(vs...) // forwarding the slice boxes nothing new
+}
+
+//mglint:hotpath
+func hotWaived(n int) []float64 {
+	//mglint:ignore hotalloc the caller owns the result; this is the one sanctioned allocation
+	out := make([]float64, n)
+	return out
+}

@@ -1,0 +1,167 @@
+// Package maporder flags map iterations whose bodies are sensitive to
+// iteration order. Go randomizes map range order per run, so any of the
+// following inside `for ... range m` silently breaks the repo's
+// bit-exactness contracts (TestTCPWorldMatchesInProcessBitExact, the
+// checkpoint resume ≡ uninterrupted pins, batching bit-identity):
+//
+//   - floating-point accumulation into a variable declared outside the
+//     loop: float addition is not associative, so the sum's bits depend
+//     on visit order;
+//   - appending map *values* (anything beyond the bare key) to a slice
+//     declared outside the loop: the slice order is nondeterministic and
+//     poisons every later reduction over it. Collecting just the keys is
+//     allowed — `keys = append(keys, k)` followed by sort.Slice is the
+//     sanctioned idiom for deterministic map iteration;
+//   - calling a Send method: message emission order becomes
+//     nondeterministic, and the Transport contract orders rank-to-rank
+//     streams by send sequence.
+//
+// Reductions proven order-insensitive (integer counters, max/min over
+// exact values) are waived in place with //mglint:ignore maporder <reason>.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mgdiffnet/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-dependent work inside map range loops",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkBody(pass, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, rng *ast.RangeStmt) {
+	keyObj := identObject(pass, rng.Key)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, rng, keyObj, n)
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Send" {
+				if _, isMethod := pass.Info.Selections[sel]; isMethod {
+					pass.Reportf(n.Pos(), "Send inside map iteration: message order depends on map range order, which is randomized per run")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *analysis.Pass, rng *ast.RangeStmt, keyObj types.Object, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			if isFloat(pass.TypeOf(lhs)) && declaredOutside(pass, lhs, rng) {
+				pass.Reportf(as.Pos(), "floating-point accumulation over map iteration: float addition is not associative, so the result's bits depend on randomized range order")
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+				continue
+			}
+			if !declaredOutside(pass, as.Lhs[i], rng) {
+				continue
+			}
+			// `keys = append(keys, k)` is the deterministic-iteration
+			// idiom (sort afterwards); appending anything else captures
+			// nondeterministic order.
+			if len(call.Args) == 2 && keyObj != nil && identObject(pass, call.Args[1]) == keyObj {
+				continue
+			}
+			pass.Reportf(as.Pos(), "append of map values to an outer slice inside map iteration: element order is randomized per run; collect keys, sort, then index the map")
+		}
+		// `sum = sum + x` spelled without the compound token.
+		if as.Tok == token.ASSIGN && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if bin, ok := as.Rhs[0].(*ast.BinaryExpr); ok && (bin.Op == token.ADD || bin.Op == token.SUB) {
+				lobj := identObject(pass, as.Lhs[0])
+				if lobj != nil && isFloat(pass.TypeOf(as.Lhs[0])) && declaredOutside(pass, as.Lhs[0], rng) &&
+					(identObject(pass, bin.X) == lobj || identObject(pass, bin.Y) == lobj) {
+					pass.Reportf(as.Pos(), "floating-point accumulation over map iteration: float addition is not associative, so the result's bits depend on randomized range order")
+				}
+			}
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	if !ok {
+		if named, ok2 := t.(interface{ Underlying() types.Type }); ok2 {
+			b, ok = named.Underlying().(*types.Basic)
+		}
+	}
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func identObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[id]
+}
+
+// declaredOutside reports whether the root object of e was declared
+// outside the range statement — i.e. it survives the loop, so per-
+// iteration order becomes externally observable.
+func declaredOutside(pass *analysis.Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	root := e
+	for {
+		switch x := root.(type) {
+		case *ast.SelectorExpr:
+			root = x.X
+			continue
+		case *ast.IndexExpr:
+			root = x.X
+			continue
+		case *ast.StarExpr:
+			root = x.X
+			continue
+		}
+		break
+	}
+	obj := identObject(pass, root)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}

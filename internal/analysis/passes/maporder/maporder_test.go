@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"mgdiffnet/internal/analysis/analysistest"
+	"mgdiffnet/internal/analysis/passes/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "maporder")
+}

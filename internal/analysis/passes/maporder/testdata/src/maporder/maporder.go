@@ -1,0 +1,86 @@
+// Golden package for maporder: order-dependent work inside map range
+// loops.
+package maporder
+
+import "sort"
+
+type ring struct{}
+
+func (ring) Send(to int, buf []float64) error { return nil }
+
+func floatAccumulation(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation over map iteration`
+	}
+	return sum
+}
+
+func floatAccumulationSpelledOut(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want `floating-point accumulation over map iteration`
+	}
+	return sum
+}
+
+func appendValues(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v) // want `append of map values to an outer slice`
+	}
+	return vals
+}
+
+func sendInIteration(m map[int][]float64, tr ring) error {
+	for to, buf := range m {
+		if err := tr.Send(to, buf); err != nil { // want `Send inside map iteration`
+			return err
+		}
+	}
+	return nil
+}
+
+// collectKeysThenSort is the sanctioned deterministic-iteration idiom:
+// collecting bare keys is allowed, and the second loop ranges over the
+// sorted slice, not the map.
+func collectKeysThenSort(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// integerCountsAreExact: int accumulation is associative, not flagged.
+func integerCountsAreExact(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// loopLocalAccumulation dies with the iteration, so order is invisible.
+func loopLocalAccumulation(m map[string][]float64) {
+	for _, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		_ = s
+	}
+}
+
+func waivedAccumulation(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //mglint:ignore maporder values are small exact integers stored as floats; addition is exact
+	}
+	return sum
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// Unit-mode support: `go vet -vettool=mglint` drives the tool with the
+// same protocol it uses for the bundled vet — a -flags probe, a -V=full
+// identity probe, then one JSON config file per build unit. This file
+// implements the config half; cmd/mglint implements the probes.
+
+// VetConfig mirrors the vet.cfg JSON written by the go command (see
+// cmd/go/internal/work: vetConfig). Only the fields mglint consumes are
+// declared; unknown fields are ignored by encoding/json.
+type VetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ModulePath  string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+}
+
+// LoadUnit reads a vet.cfg and returns the type-checked unit, or
+// (nil, nil) when the unit is outside the module (go vet visits every
+// dependency for fact propagation; mglint has no cross-package facts, so
+// non-module units are acknowledged and skipped).
+func LoadUnit(cfgPath string) (*Package, *VetConfig, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mglint: reading vet config: %v", err)
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, nil, fmt.Errorf("mglint: parsing vet config %s: %v", cfgPath, err)
+	}
+	if cfg.VetxOnly || cfg.ModulePath == "" ||
+		(cfg.ImportPath != cfg.ModulePath && !strings.HasPrefix(cfg.ImportPath, cfg.ModulePath+"/")) {
+		return nil, &cfg, nil
+	}
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		return nil, nil, err
+	}
+	tpkg, info, err := typecheck(fset, cfg.ImportPath, files, exportImporter(fset, cfg.ImportMap, cfg.PackageFile))
+	if err != nil {
+		return nil, nil, fmt.Errorf("mglint: type-checking %s: %v", cfg.ImportPath, err)
+	}
+	return &Package{Path: cfg.ImportPath, Dir: cfg.Dir, Fset: fset, Files: files, Types: tpkg, Info: info}, &cfg, nil
+}
+
+// WriteVetx writes the (empty) facts file the go command expects a
+// vettool to leave behind; its absence would defeat vet result caching.
+func (cfg *VetConfig) WriteVetx() error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, nil, 0o666)
+}

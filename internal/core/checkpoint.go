@@ -128,12 +128,12 @@ func SaveCheckpoint(path string, ck *Checkpoint) error {
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
 	if err := gob.NewEncoder(f).Encode(ck); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the encode error is the one to keep
 		os.Remove(tmp)
 		return fmt.Errorf("core: checkpoint encode: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the sync error is the one to keep
 		os.Remove(tmp)
 		return fmt.Errorf("core: checkpoint sync: %w", err)
 	}

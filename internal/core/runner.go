@@ -89,7 +89,7 @@ func RunSchedule(cfg Config, backend EpochBackend, opts RunOptions) (*Report, er
 
 	sched := MultiCycleSchedule(cfg.Strategy, cfg.Levels, cfg.FinestRes, cfg.Cycles)
 	rep := &Report{Strategy: cfg.Strategy}
-	start := time.Now()
+	start := time.Now() //mglint:ignore detrand wall-clock telemetry for reported timings; never feeds the numeric path
 	startStage, startEpoch := 0, 0
 	var resumeStopper *StopperState
 	resumeAdapted := false
@@ -122,7 +122,7 @@ func RunSchedule(cfg Config, backend EpochBackend, opts RunOptions) (*Report, er
 	epochsSinceSave := 0
 	for si := startStage; si < len(sched); si++ {
 		st := sched[si]
-		begin := time.Now()
+		begin := time.Now() //mglint:ignore detrand wall-clock telemetry for reported timings; never feeds the numeric path
 		sr := StageReport{Stage: st}
 		budget := cfg.RestrictionEpochs
 		var stop *EarlyStopper

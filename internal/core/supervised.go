@@ -68,7 +68,7 @@ func (s *SupervisedTrainer) label(i, res int) []float64 {
 	}
 	s.mu.Unlock()
 
-	start := time.Now()
+	start := time.Now() //mglint:ignore detrand wall-clock telemetry for reported timings; never feeds the numeric path
 	w := s.omegas.Omegas[key.sample]
 	var u *tensor.Tensor
 	var cg sparse.CGResult

@@ -306,7 +306,7 @@ type CurvePoint struct {
 // the multigrid run's final loss.
 func (t *Trainer) BaseCurve(res, maxEpochs int) []CurvePoint {
 	curve := make([]CurvePoint, 0, maxEpochs)
-	start := time.Now()
+	start := time.Now() //mglint:ignore detrand wall-clock telemetry for reported timings; never feeds the numeric path
 	for e := 0; e < maxEpochs; e++ {
 		loss, _ := t.TrainEpoch(res)
 		curve = append(curve, CurvePoint{Epoch: e + 1, Loss: loss, CumSeconds: time.Since(start).Seconds()})

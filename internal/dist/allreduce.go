@@ -13,6 +13,8 @@ func chunkOffsets(n, p int) []int {
 // chunkOffsetsInto is chunkOffsets writing into a caller-provided buffer
 // of length p+1, so persistent communicators can partition without
 // allocating.
+//
+//mglint:hotpath
 func chunkOffsetsInto(off []int, n, p int) []int {
 	off[0] = 0
 	base, rem := n/p, n%p
@@ -72,6 +74,8 @@ func RingAllReduce(rank, p int, x []float64, tr Transport) error {
 
 // ringAllReduce is the ring schedule over caller-provided chunk offsets
 // and scratch (len >= off[1]-off[0], chunk 0 being a largest chunk).
+//
+//mglint:hotpath
 func ringAllReduce(rank, p int, x []float64, tr Transport, off []int, scratch []float64) error {
 	right := (rank + 1) % p
 	left := (rank - 1 + p) % p

@@ -71,6 +71,8 @@ func (c *Communicator) AllReduce(x []float64) error { return c.AllReduceFrom(x, 
 // zeros, so an empty-shard rank does not have to zero-fill its gradient
 // slab every batch — its x is simply overwritten with the result during
 // the all-gather. If no rank contributes, every x is zero-filled.
+//
+//mglint:hotpath
 func (c *Communicator) AllReduceFrom(x []float64, contrib []bool) error {
 	if contrib != nil && len(contrib) != c.p {
 		return fmt.Errorf("dist: contrib covers %d ranks, want %d", len(contrib), c.p)
@@ -165,6 +167,8 @@ func (c *Communicator) AllReduceFrom(x []float64, contrib []bool) error {
 // RingAllReduce runs the Patarasuk & Yuan ring (see the free function of
 // the same name) through the communicator's persistent scratch, so
 // steady-state calls allocate nothing.
+//
+//mglint:hotpath
 func (c *Communicator) RingAllReduce(x []float64) error {
 	if c.p == 1 {
 		return nil

@@ -50,6 +50,10 @@ type SpatialInference struct {
 	mu   sync.Mutex       // one pass at a time; guards the scratch below
 	ext  []*tensor.Tensor // per-worker extended-slab input scratch
 	hbuf []*tensor.Tensor // per-worker halo exchange scratch
+
+	shapeBuf []int   // output-shape scratch, grown once
+	haloBuf  []int   // halo-shape scratch, grown once
+	errBuf   []error // per-worker error slots, grown once
 }
 
 // NewSpatialInference builds a slab-decomposed evaluator over workers
@@ -133,6 +137,8 @@ func (s *SpatialInference) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 // pass allocation-free in steady state. Concurrent calls are safe and
 // serialize on an internal mutex (each pass already parallelizes across
 // the slab workers internally, so overlapping passes would only thrash).
+//
+//mglint:hotpath
 func (s *SpatialInference) ForwardInto(dst, x *tensor.Tensor) (*tensor.Tensor, error) {
 	cfg := s.nets[0].Cfg
 	wantRank := cfg.Dim + 2
@@ -150,11 +156,18 @@ func (s *SpatialInference) ForwardInto(dst, x *tensor.Tensor) (*tensor.Tensor, e
 			return nil, fmt.Errorf("dist: spatial extent %d must be a positive multiple of %d", d, m)
 		}
 	}
-	outShape := append([]int(nil), x.Shape()...)
-	outShape[1] = cfg.OutChannels
-
 	s.mu.Lock()
 	defer s.mu.Unlock()
+
+	// Build the output shape in reused scratch: these small per-call
+	// slices were the last steady-state allocations in the pass
+	// (tensor.New copies the shape, so handing it scratch is safe).
+	if cap(s.shapeBuf) < wantRank {
+		s.shapeBuf = make([]int, wantRank)
+	}
+	outShape := s.shapeBuf[:wantRank]
+	copy(outShape, x.Shape())
+	outShape[1] = cfg.OutChannels
 
 	if s.workers == 1 {
 		// The replica recycles its output buffer (SetBufferReuse), so the
@@ -185,12 +198,21 @@ func (s *SpatialInference) ForwardInto(dst, x *tensor.Tensor) (*tensor.Tensor, e
 	}
 	tailDims := x.Shape()[3:]
 	N, C := x.Dim(0), x.Dim(1)
-	haloShape := append([]int{N, C, s.halo}, tailDims...)
+	if cap(s.haloBuf) < wantRank {
+		s.haloBuf = make([]int, wantRank)
+	}
+	haloShape := s.haloBuf[:3+len(tailDims)]
+	haloShape[0], haloShape[1], haloShape[2] = N, C, s.halo
+	copy(haloShape[3:], tailDims)
 
-	errs := make([]error, s.workers)
+	if cap(s.errBuf) < s.workers {
+		s.errBuf = make([]error, s.workers)
+	}
+	errs := s.errBuf[:s.workers]
 	var wg sync.WaitGroup
 	for w := 0; w < s.workers; w++ {
 		wg.Add(1)
+		//mglint:ignore hotalloc one goroutine and closure per slab per pass is the fan-out design; the slab's convolution work dwarfs both
 		go func(w int) {
 			defer wg.Done()
 			errs[w] = s.forwardSlab(w, x, out, slab, haloShape)

@@ -13,6 +13,8 @@ import (
 	"time"
 )
 
+//mglint:ignore-file detrand transport plumbing is wall-clock by nature: time.Now feeds I/O deadlines and heartbeat accounting, and the dial-backoff jitter is deliberately nondeterministic; none of it touches payload bits, which TestTCPWorldMatchesInProcessBitExact pins against the in-process mesh
+
 // Wire protocol. Every frame is a 5-byte header — one kind byte plus a
 // big-endian uint32 payload byte count — followed by the payload:
 //

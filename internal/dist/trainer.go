@@ -583,7 +583,7 @@ func (pt *ParallelTrainer) EvalLoss(res int) (float64, error) {
 // TimeEpoch runs TrainEpoch at the given resolution under a wall-clock
 // timer.
 func (pt *ParallelTrainer) TimeEpoch(res int) (time.Duration, float64, error) {
-	start := time.Now()
+	start := time.Now() //mglint:ignore detrand wall-clock telemetry for reported timings; never feeds the numeric path
 	loss, err := pt.TrainEpoch(res)
 	return time.Since(start), loss, err
 }

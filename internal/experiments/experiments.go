@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -284,9 +285,17 @@ func Figure7(rows []Table1Row) []Figure7Share {
 			continue
 		}
 		perLevel := rep.TimePerLevel()
+		// Sum in ascending level order: ranging over the map directly
+		// made the total's low bits — and the printed percentages —
+		// depend on Go's randomized map iteration order.
+		levels := make([]int, 0, len(perLevel))
+		for lv := range perLevel {
+			levels = append(levels, lv)
+		}
+		sort.Ints(levels)
 		total := 0.0
-		for _, s := range perLevel {
-			total += s
+		for _, lv := range levels {
+			total += perLevel[lv]
 		}
 		for lv := 1; lv <= 8; lv++ {
 			if s, ok := perLevel[lv]; ok && total > 0 {

@@ -45,6 +45,9 @@ func TestFigure2MonotoneCost(t *testing.T) {
 }
 
 func TestTable1QuickStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-mode training sweep in short mode")
+	}
 	cfg := DefaultTable1Config(Quick)
 	cfg.Resolutions = []int{32}
 	cfg.LevelCounts = []int{2}
@@ -89,6 +92,9 @@ func TestLevelsFeasible(t *testing.T) {
 }
 
 func TestFigure7SharesSumTo100(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multigrid timing breakdown trains a model in short mode")
+	}
 	cfg := DefaultTable1Config(Quick)
 	cfg.Resolutions = []int{32}
 	cfg.LevelCounts = []int{2}
@@ -113,6 +119,9 @@ func TestFigure7SharesSumTo100(t *testing.T) {
 }
 
 func TestTable2Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two adaptation trainings in short mode")
+	}
 	rows := Table2(Quick)
 	if len(rows) != 2 {
 		t.Fatalf("rows %d", len(rows))
@@ -242,6 +251,9 @@ func TestTable4And7(t *testing.T) {
 }
 
 func TestTable5Is3D(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3D training in short mode")
+	}
 	rows := Table5(Quick)
 	if len(rows) != 1 {
 		t.Fatalf("rows %d", len(rows))
@@ -292,6 +304,9 @@ func TestDataFreeVsDataDriven(t *testing.T) {
 }
 
 func TestPINNBaselineSingleInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("PINN baseline training in short mode")
+	}
 	row := PINNBaseline(Quick)
 	if row.PerQuerySec != row.TrainSec {
 		t.Fatal("a pointwise solver's per-query cost is a full solve")

@@ -176,6 +176,8 @@ func (a *Adam) Step() {
 
 // stepFlat is the fused arena sweep: maximal runs of parameters sharing a
 // bias-correction age are updated as single contiguous ranges.
+//
+//mglint:hotpath
 func (a *Adam) stepFlat(ar *Arena) {
 	data, grad := ar.data, ar.grad
 	for s := 0; s < len(a.params); {
@@ -190,6 +192,7 @@ func (a *Adam) stepFlat(ar *Arena) {
 		d, g := data[lo:hi], grad[lo:hi]
 		m, v := a.mbuf[lo:hi], a.vbuf[lo:hi]
 		b1, b2, lr, eps := a.Beta1, a.Beta2, a.LR, a.Epsilon
+		//mglint:ignore hotalloc one closure environment per ParallelRange call is the pinned steady-state cost; TestParallelEpochSteadyStateAllocs budgets it
 		tensor.ParallelRange(hi-lo, func(jlo, jhi int) {
 			for j := jlo; j < jhi; j++ {
 				gj := g[j]

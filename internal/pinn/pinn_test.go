@@ -10,6 +10,9 @@ import (
 )
 
 func TestSolveConstantNuApproaches1MinusX(t *testing.T) {
+	if testing.Short() {
+		t.Skip("600-epoch pointwise solve in short mode")
+	}
 	// With ν ≡ 1 (ω = 0) the solution is u = 1 − x; the pointwise solver
 	// must land near it despite soft boundary conditions.
 	cfg := DefaultConfig(field.Omega{})
@@ -46,6 +49,9 @@ func TestSolveReducesLoss(t *testing.T) {
 // near-zero λ lets the boundary drift, producing a much worse boundary
 // error than a sensible λ.
 func TestBoundaryPenaltySensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two 300-epoch solves in short mode")
+	}
 	boundaryErr := func(lambda float64) float64 {
 		cfg := DefaultConfig(field.Omega{})
 		cfg.Lambda = lambda

@@ -106,6 +106,8 @@ func (e *Engine) launch(res int, fs []*flight) {
 // runBatch executes one coalesced forward pass: rasterize every ω into the
 // replica's reused batch tensor, run the network, then copy each sample
 // out, impose boundary conditions, publish to the cache and wake waiters.
+//
+//mglint:hotpath
 func (e *Engine) runBatch(rep *replica, res int, fs []*flight) {
 	defer e.wg.Done()
 	n := len(fs)
@@ -119,6 +121,7 @@ func (e *Engine) runBatch(rep *replica, res int, fs []*flight) {
 	}
 	y := rep.net.Forward(rep.in, false)
 	for i, f := range fs {
+		//mglint:ignore hotalloc the result buffer's ownership transfers to the flight and the LRU cache; pooling it would let cache entries alias live responses
 		u := make([]float64, per)
 		copy(u, y.Data[i*per:(i+1)*per])
 		e.applyBC(u, res)

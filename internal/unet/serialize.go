@@ -78,13 +78,19 @@ func Load(r io.Reader) (*UNet, error) {
 	return u, nil
 }
 
-// SaveFile writes the network to path.
-func (u *UNet) SaveFile(path string) error {
+// SaveFile writes the network to path. The Close error is propagated: a
+// full disk or I/O failure may only surface at close, and dropping it
+// would report a truncated weights file as saved.
+func (u *UNet) SaveFile(path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	return u.Save(f)
 }
 

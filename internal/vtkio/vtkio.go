@@ -104,13 +104,20 @@ func compressBlock(vals []float64) (string, error) {
 	return base64.StdEncoding.EncodeToString(header) + base64.StdEncoding.EncodeToString(zbuf.Bytes()), nil
 }
 
-// WriteFile writes the fields to path with WriteImageData.
-func WriteFile(path string, fields []Field) error {
+// WriteFile writes the fields to path with WriteImageData. The Close
+// error is propagated: the OS may not surface a full disk or I/O failure
+// until the file is closed, and dropping it would report a truncated
+// .vti as written.
+func WriteFile(path string, fields []Field) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	return WriteImageData(f, fields)
 }
 
