@@ -21,8 +21,15 @@ test:
 mglint:
 	$(GO) build -o $(MGLINT) ./cmd/mglint
 
+# LINT_JSON=1 runs the standalone driver with one JSON diagnostic per
+# line on stdout (waived findings included, suppressed=true) instead of
+# the vettool text form; exit status is identical either way.
 lint: mglint
+ifeq ($(LINT_JSON),1)
+	./$(MGLINT) -json ./...
+else
 	$(GO) vet -vettool=$(MGLINT) ./...
+endif
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
 

@@ -1,18 +1,30 @@
 // mglint runs the repo's project-specific static analyzers — the
-// determinism, hot-path-allocation and error-handling invariants that
-// after-the-fact tests used to guard one instance at a time.
+// determinism, hot-path-allocation, error-handling and lock-discipline
+// invariants that after-the-fact tests used to guard one instance at a
+// time.
 //
 // Two modes share one analyzer suite (internal/analysis/all):
 //
-//	mglint [-only name,name] [packages]
+//	mglint [-only name,name] [-json] [packages]
 //	    standalone: load packages (default ./...) through `go list
-//	    -export` and report every unsuppressed diagnostic. Exit 1 if any.
+//	    -export`, schedule them in dependency order so cross-package
+//	    facts flow, and report every unsuppressed diagnostic. Exit 1 if
+//	    any.
 //
 //	go vet -vettool=$(which mglint) ./...
 //	    vettool: the go command probes -flags and -V=full, then invokes
-//	    mglint once per build unit with a vet.cfg JSON file. Diagnostics
-//	    go to stderr as file:line:col: messages with exit status 2,
-//	    exactly like the bundled vet.
+//	    mglint once per build unit with a vet.cfg JSON file. Dependency
+//	    facts arrive through the config's PackageVetx files and the
+//	    unit's own facts are written to VetxOutput, so analyzer behavior
+//	    is identical to standalone. Diagnostics go to stderr as
+//	    file:line:col: messages with exit status 2, exactly like the
+//	    bundled vet.
+//
+// With -json each diagnostic is emitted to stdout as one JSON object per
+// line — {"path","line","analyzer","message","suppressed"} — including
+// waived diagnostics with suppressed=true, so CI and editors can consume
+// the full picture without re-parsing positions. Exit status still
+// reflects only unsuppressed findings.
 //
 // Suppressions: //mglint:ignore <analyzer> <reason> (line) and
 // //mglint:ignore-file <analyzer> <reason> (file). The reason is
@@ -21,8 +33,10 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"io"
 	"os"
 	"strings"
@@ -32,36 +46,38 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	// The go vet protocol probes come before flag parsing: the argument
 	// forms are fixed by cmd/go, not by this tool.
 	for _, a := range args {
 		switch {
 		case a == "-flags":
-			return printFlags()
+			return printFlags(stdout)
 		case strings.HasPrefix(a, "-V="):
-			return printVersion()
+			return printVersion(stdout)
 		}
 	}
-	fs := flag.NewFlagSet("mglint", flag.ExitOnError)
+	fs := flag.NewFlagSet("mglint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit one JSON diagnostic per line on stdout (includes suppressed)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	analyzers, err := selectAnalyzers(*only)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
 	rest := fs.Args()
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
-		return runUnit(rest[0], analyzers)
+		return runUnit(rest[0], analyzers, *jsonOut, stdout, stderr)
 	}
-	return runStandalone(rest, analyzers)
+	return runStandalone(rest, analyzers, *jsonOut, stdout, stderr)
 }
 
 func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
@@ -84,70 +100,89 @@ func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
 	return out, nil
 }
 
-func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+// jsonDiag is the one-per-line wire form of -json output.
+type jsonDiag struct {
+	Path       string `json:"path"`
+	Line       int    `json:"line"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// emit prints diagnostics in the selected format and returns the count of
+// unsuppressed ones, which is what exit status is based on.
+func emit(fset *token.FileSet, diags []analysis.Diagnostic, jsonOut bool, stdout, stderr io.Writer) int {
+	unsuppressed := 0
+	enc := json.NewEncoder(stdout)
+	for _, d := range diags {
+		if !d.Suppressed {
+			unsuppressed++
+		}
+		if jsonOut {
+			pos := fset.Position(d.Pos)
+			// Encode never fails for this shape; one object per line is
+			// the contract.
+			_ = enc.Encode(jsonDiag{
+				Path:       pos.Filename,
+				Line:       pos.Line,
+				Analyzer:   d.Analyzer,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+			})
+		} else if !d.Suppressed {
+			fmt.Fprintf(stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+	return unsuppressed
+}
+
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bool, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	pkgs, err := analysis.Load(".", patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	diags, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	if len(diags) == 0 {
-		return 0
+	// Packages share one FileSet per Load, so any package resolves positions.
+	if emit(pkgs[0].Fset, diags, jsonOut, stdout, stderr) > 0 {
+		return 1
 	}
-	for _, d := range diags {
-		// Packages share one FileSet per Load, so any package resolves it.
-		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pkgs[0].Fset.Position(d.Pos), d.Message, d.Analyzer)
-	}
-	return 1
+	return 0
 }
 
-func runUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
-	pkg, cfg, err := analysis.LoadUnit(cfgPath)
+func runUnit(cfgPath string, analyzers []*analysis.Analyzer, jsonOut bool, stdout, stderr io.Writer) int {
+	diags, pkg, err := analysis.RunUnit(cfgPath, analyzers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	if cfg != nil {
-		if err := cfg.WriteVetx(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
+	if pkg == nil || len(diags) == 0 {
+		return 0 // out-of-module unit, facts-only unit, or clean
 	}
-	if pkg == nil {
-		return 0 // out-of-module dependency unit: nothing to check
+	if emit(pkg.Fset, diags, jsonOut, stdout, stderr) > 0 {
+		return 2 // the go command's "diagnostics reported" status
 	}
-	diags, err := analysis.Run([]*analysis.Package{pkg}, analyzers)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
-	}
-	if len(diags) == 0 {
-		return 0
-	}
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
-	}
-	return 2 // the go command's "diagnostics reported" status
+	return 0
 }
 
 // printFlags answers the go command's -flags probe: the JSON schema of
 // flags the tool accepts, so `go vet -vettool=mglint -only=...` works.
-func printFlags() int {
-	fmt.Println(`[{"Name":"only","Bool":false,"Usage":"comma-separated analyzer names to run"}]`)
+func printFlags(stdout io.Writer) int {
+	fmt.Fprintln(stdout, `[{"Name":"only","Bool":false,"Usage":"comma-separated analyzer names to run"},{"Name":"json","Bool":true,"Usage":"emit one JSON diagnostic per line on stdout"}]`)
 	return 0
 }
 
 // printVersion answers -V=full. The output is the go command's cache key
 // for vet results, so it must change whenever the binary does: hash the
 // executable itself.
-func printVersion() int {
+func printVersion(stdout io.Writer) int {
 	id := "unknown"
 	if exe, err := os.Executable(); err == nil {
 		if f, err := os.Open(exe); err == nil {
@@ -160,6 +195,6 @@ func printVersion() int {
 			}
 		}
 	}
-	fmt.Printf("mglint version devel buildID=%s\n", id)
+	fmt.Fprintf(stdout, "mglint version devel buildID=%s\n", id)
 	return 0
 }

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runIn invokes run with the working directory set to the exitmod
+// fixture, capturing both streams.
+func runIn(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "exitmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(abs)
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestExitCodes pins the standalone exit-status contract: 0 for clean
+// and suppressed-only packages, 1 for unsuppressed diagnostics, 2 for
+// load or usage errors.
+func TestExitCodes(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		code, stdout, stderr := runIn(t, "./clean")
+		if code != 0 {
+			t.Fatalf("exit %d, want 0; stderr:\n%s", code, stderr)
+		}
+		if stdout != "" || stderr != "" {
+			t.Fatalf("clean run produced output: stdout=%q stderr=%q", stdout, stderr)
+		}
+	})
+	t.Run("dirty", func(t *testing.T) {
+		code, _, stderr := runIn(t, "./dirty")
+		if code != 1 {
+			t.Fatalf("exit %d, want 1; stderr:\n%s", code, stderr)
+		}
+		if !strings.Contains(stderr, "closecheck") {
+			t.Fatalf("stderr missing analyzer name:\n%s", stderr)
+		}
+		if !strings.Contains(stderr, "dirty.go:") {
+			t.Fatalf("stderr missing position:\n%s", stderr)
+		}
+	})
+	t.Run("suppressed", func(t *testing.T) {
+		code, stdout, stderr := runIn(t, "./suppressed")
+		if code != 0 {
+			t.Fatalf("exit %d, want 0; stderr:\n%s", code, stderr)
+		}
+		if stdout != "" || stderr != "" {
+			t.Fatalf("suppressed-only run produced output: stdout=%q stderr=%q", stdout, stderr)
+		}
+	})
+	t.Run("load error", func(t *testing.T) {
+		code, _, stderr := runIn(t, "./no/such/pkg")
+		if code != 2 {
+			t.Fatalf("exit %d, want 2; stderr:\n%s", code, stderr)
+		}
+	})
+	t.Run("unknown analyzer", func(t *testing.T) {
+		code, _, stderr := runIn(t, "-only", "nosuchpass", "./clean")
+		if code != 2 {
+			t.Fatalf("exit %d, want 2", code)
+		}
+		if !strings.Contains(stderr, "unknown analyzer") {
+			t.Fatalf("stderr missing unknown-analyzer error:\n%s", stderr)
+		}
+	})
+}
+
+// TestJSONOutput pins the -json contract: one JSON object per line on
+// stdout, suppressed diagnostics included with suppressed=true, exit
+// status still driven only by unsuppressed findings.
+func TestJSONOutput(t *testing.T) {
+	t.Run("dirty", func(t *testing.T) {
+		code, stdout, _ := runIn(t, "-json", "./dirty")
+		if code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+		diags := decodeLines(t, stdout)
+		if len(diags) != 1 {
+			t.Fatalf("got %d diagnostics, want 1:\n%s", len(diags), stdout)
+		}
+		d := diags[0]
+		if d.Analyzer != "closecheck" || d.Suppressed || d.Line == 0 {
+			t.Fatalf("unexpected diagnostic: %+v", d)
+		}
+		if filepath.Base(d.Path) != "dirty.go" {
+			t.Fatalf("path %q, want .../dirty.go", d.Path)
+		}
+		if !strings.Contains(d.Message, "Close") {
+			t.Fatalf("message %q missing Close", d.Message)
+		}
+	})
+	t.Run("suppressed", func(t *testing.T) {
+		code, stdout, _ := runIn(t, "-json", "./suppressed")
+		if code != 0 {
+			t.Fatalf("exit %d, want 0 for suppressed-only", code)
+		}
+		diags := decodeLines(t, stdout)
+		if len(diags) != 1 {
+			t.Fatalf("got %d diagnostics, want 1 (the waived one):\n%s", len(diags), stdout)
+		}
+		if !diags[0].Suppressed {
+			t.Fatalf("diagnostic not marked suppressed: %+v", diags[0])
+		}
+	})
+	t.Run("clean", func(t *testing.T) {
+		code, stdout, _ := runIn(t, "-json", "./clean")
+		if code != 0 {
+			t.Fatalf("exit %d, want 0", code)
+		}
+		if strings.TrimSpace(stdout) != "" {
+			t.Fatalf("clean -json run produced output:\n%s", stdout)
+		}
+	})
+}
+
+func decodeLines(t *testing.T, stdout string) []jsonDiag {
+	t.Helper()
+	var diags []jsonDiag
+	for _, line := range strings.Split(strings.TrimSpace(stdout), "\n") {
+		if line == "" {
+			continue
+		}
+		var d jsonDiag
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		diags = append(diags, d)
+	}
+	return diags
+}

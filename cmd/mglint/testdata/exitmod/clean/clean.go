@@ -1,0 +1,7 @@
+// Package clean has nothing for any analyzer to object to.
+package clean
+
+// Double is steady-state arithmetic: no clocks, no allocation, no handles.
+func Double(x int) int {
+	return 2 * x
+}

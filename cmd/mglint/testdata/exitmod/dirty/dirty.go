@@ -1,0 +1,15 @@
+// Package dirty carries one unsuppressed closecheck finding.
+package dirty
+
+import "os"
+
+// Save defers Close on a write handle without checking its error.
+func Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString("x")
+	return err
+}

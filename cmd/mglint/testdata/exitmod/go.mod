@@ -1,0 +1,3 @@
+module exitmod
+
+go 1.24

@@ -9,7 +9,9 @@ import (
 	"mgdiffnet/internal/analysis/passes/detrand"
 	"mgdiffnet/internal/analysis/passes/goroutinefatal"
 	"mgdiffnet/internal/analysis/passes/hotalloc"
+	"mgdiffnet/internal/analysis/passes/lockcheck"
 	"mgdiffnet/internal/analysis/passes/maporder"
+	"mgdiffnet/internal/analysis/passes/wgcheck"
 )
 
 // Analyzers returns the full suite in stable order.
@@ -19,6 +21,8 @@ func Analyzers() []*analysis.Analyzer {
 		detrand.Analyzer,
 		goroutinefatal.Analyzer,
 		hotalloc.Analyzer,
+		lockcheck.Analyzer,
 		maporder.Analyzer,
+		wgcheck.Analyzer,
 	}
 }

@@ -6,7 +6,11 @@
 // invisible to the go tool, so they never build into the module). The
 // directory's base name becomes the package's import path, which lets a
 // test stand up a package that analyzers treat as determinism-critical
-// (e.g. testdata/src/dist) next to one they must ignore.
+// (e.g. testdata/src/dist) next to one they must ignore. Golden packages
+// may import sibling golden directories by bare name; imports load
+// first and run first, so cross-package fact propagation is exercised
+// exactly as in the real module, and want comments in the imported
+// packages are honored too.
 //
 // Expectations are trailing comments on the offending line:
 //
@@ -42,17 +46,54 @@ type expectation struct {
 	matched bool
 }
 
-// Run loads testdata/src/<pkg>, applies a (through analysis.Run, so
-// directives are live) and diffs diagnostics against want comments.
+// Run loads testdata/src/<pkg> — and, transitively, any sibling golden
+// packages it imports — applies a (through analysis.Run, so directives
+// and cross-package facts are live) and diffs diagnostics against want
+// comments in every loaded package.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
 	t.Helper()
-	dir := filepath.Join(testdata, "src", pkg)
-	p, err := analysis.LoadDir(dir, pkg)
+	pkgs, err := analysis.LoadGolden(filepath.Join(testdata, "src"), pkg)
 	if err != nil {
-		t.Fatalf("loading golden package %s: %v", dir, err)
+		t.Fatalf("loading golden package %s: %v", pkg, err)
 	}
+	p := pkgs[len(pkgs)-1] // target package; all share p.Fset
 
 	var wants []*expectation
+	for _, lp := range pkgs {
+		collectWants(t, lp, &wants)
+	}
+
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+	}
+
+	for _, d := range diags {
+		if d.Suppressed {
+			continue // waived in the golden file: exactly like production
+		}
+		pos := p.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// collectWants parses the want comments of one loaded package.
+func collectWants(t *testing.T, p *analysis.Package, wants *[]*expectation) {
+	t.Helper()
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -75,33 +116,9 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
 					if err != nil {
 						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
 					}
-					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: pat, re: re})
+					*wants = append(*wants, &expectation{file: pos.Filename, line: pos.Line, pattern: pat, re: re})
 				}
 			}
-		}
-	}
-
-	diags, err := analysis.Run([]*analysis.Package{p}, []*analysis.Analyzer{a})
-	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
-	}
-
-	for _, d := range diags {
-		pos := p.Fset.Position(d.Pos)
-		matched := false
-		for _, w := range wants {
-			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
-				w.matched = true
-				matched = true
-			}
-		}
-		if !matched {
-			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
-		}
-	}
-	for _, w := range wants {
-		if !w.matched {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
 		}
 	}
 }

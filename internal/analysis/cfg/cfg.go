@@ -1,0 +1,422 @@
+// Package cfg builds per-function control-flow graphs from go/ast —
+// blocks, edges, and defer tracking — sufficient for the path-sensitive
+// checks in lockcheck and wgcheck (a Lock must reach Unlock on every
+// path; a WaitGroup.Done must be reached on every path). It is a small
+// stdlib-only sibling of golang.org/x/tools/go/cfg.
+//
+// Scope and non-goals: the graph covers one function body's statements.
+// Conditions and range operands appear as expression nodes inside blocks
+// so analyzers can inspect them, but no expression-level flow (&&, ||,
+// conditional panics inside expressions) is modeled. Function literals
+// are opaque — their bodies do not join the enclosing graph; analyzers
+// build a separate graph per literal. `panic`, `os.Exit`, `log.Fatal*`
+// and `runtime.Goexit` statements terminate a path without reaching Exit,
+// so "on every path" checks do not demand cleanup on paths that kill the
+// process. Labeled break/continue and goto are supported; fallthrough
+// chains case bodies.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A Graph is the control-flow graph of one function body. Entry starts
+// the body; Exit is the single synthetic block every return (and the
+// fall-off-the-end path) leads to.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// A Block is a maximal straight-line sequence. Nodes holds statements and
+// the control expressions (if/for/switch conditions, range operands) that
+// execute in the block, in execution order.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// New builds the graph of body. info, when non-nil, is used to recognize
+// no-return calls (panic, os.Exit, log.Fatal*, runtime.Goexit) that
+// terminate a path; with nil info only the panic builtin is recognized by
+// name.
+func New(body *ast.BlockStmt, info *types.Info) *Graph {
+	b := &builder{
+		g:      &Graph{},
+		info:   info,
+		labels: make(map[string]*labelTargets),
+	}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.jump(b.g.Exit)
+	return b.g
+}
+
+type labelTargets struct {
+	target *Block // the labeled statement's block (goto destination)
+	brk    *Block // break-label destination, set when the labeled stmt is a loop/switch/select
+	cont   *Block // continue-label destination, set for loops
+}
+
+type builder struct {
+	g    *Graph
+	info *types.Info
+	cur  *Block // nil while the current point is unreachable
+
+	breaks    []*Block // innermost-last break targets
+	continues []*Block // innermost-last continue targets
+	labels    map[string]*labelTargets
+	pending   string // label naming the next loop/switch/select statement
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// startBlock makes succ the current block.
+func (b *builder) startBlock(blk *Block) { b.cur = blk }
+
+// jump adds an edge from the current block to to, then marks the point
+// unreachable. No-op when already unreachable.
+func (b *builder) jump(to *Block) {
+	if b.cur != nil {
+		b.cur.addSucc(to)
+		b.cur = nil
+	}
+}
+
+// edge adds cur->to without ending the current block's reachability.
+func (b *builder) edge(to *Block) {
+	if b.cur != nil {
+		b.cur.addSucc(to)
+	}
+}
+
+func (blk *Block) addSucc(s *Block) {
+	for _, have := range blk.Succs {
+		if have == s {
+			return
+		}
+	}
+	blk.Succs = append(blk.Succs, s)
+}
+
+// add appends a node to the current block, reviving an unreachable point
+// into a fresh orphan block so dead statements still exist in the graph.
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// labelFor consumes the pending label for a breakable statement,
+// registering its break/continue targets.
+func (b *builder) labelFor(brk, cont *Block) {
+	if b.pending == "" {
+		return
+	}
+	lt := b.labels[b.pending]
+	lt.brk = brk
+	lt.cont = cont
+	b.pending = ""
+}
+
+func (b *builder) labelTarget(name string) *labelTargets {
+	lt := b.labels[name]
+	if lt == nil {
+		lt = &labelTargets{target: b.newBlock()}
+		b.labels[name] = lt
+	}
+	return lt
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		lt := b.labelTarget(s.Label.Name)
+		b.edge(lt.target)
+		b.startBlock(lt.target)
+		b.pending = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pending = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+
+	case *ast.BranchStmt:
+		b.add(s)
+		b.branch(s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		b.add(s.Init)
+		b.add(s.Tag)
+		b.switchBody(s.Body, false)
+
+	case *ast.TypeSwitchStmt:
+		b.add(s.Init)
+		b.add(s.Assign)
+		b.switchBody(s.Body, false)
+
+	case *ast.SelectStmt:
+		b.switchBody(s.Body, true)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.noReturn(call) {
+			b.cur = nil // process/goroutine dies here; the path never reaches Exit
+		}
+
+	default:
+		// Straight-line statements: declarations, assignments, sends,
+		// inc/dec, go, defer, empty.
+		b.add(s)
+	}
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	switch s.Tok.String() {
+	case "break":
+		if s.Label != nil {
+			if lt := b.labels[s.Label.Name]; lt != nil && lt.brk != nil {
+				b.jump(lt.brk)
+				return
+			}
+		} else if n := len(b.breaks); n > 0 {
+			b.jump(b.breaks[n-1])
+			return
+		}
+		b.cur = nil
+	case "continue":
+		if s.Label != nil {
+			if lt := b.labels[s.Label.Name]; lt != nil && lt.cont != nil {
+				b.jump(lt.cont)
+				return
+			}
+		} else if n := len(b.continues); n > 0 {
+			b.jump(b.continues[n-1])
+			return
+		}
+		b.cur = nil
+	case "goto":
+		if s.Label != nil {
+			b.jump(b.labelTarget(s.Label.Name).target)
+			return
+		}
+		b.cur = nil
+	case "fallthrough":
+		// Valid fallthrough (the final statement of a case body) is
+		// handled structurally in switchBody; anything reaching here is
+		// in dead or invalid code.
+		b.cur = nil
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	b.add(s.Init)
+	b.add(s.Cond)
+	cond := b.cur
+	after := b.newBlock()
+
+	then := b.newBlock()
+	if cond != nil {
+		cond.addSucc(then)
+	}
+	b.startBlock(then)
+	b.stmtList(s.Body.List)
+	b.jump(after)
+
+	if s.Else != nil {
+		els := b.newBlock()
+		if cond != nil {
+			cond.addSucc(els)
+		}
+		b.startBlock(els)
+		b.stmt(s.Else)
+		b.jump(after)
+	} else if cond != nil {
+		cond.addSucc(after)
+	}
+	b.startBlock(after)
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	b.add(s.Init)
+	head := b.newBlock()
+	body := b.newBlock()
+	after := b.newBlock()
+	post := head
+	if s.Post != nil {
+		post = b.newBlock()
+	}
+	b.labelFor(after, post)
+
+	b.jump(head)
+	b.startBlock(head)
+	if s.Cond != nil {
+		b.add(s.Cond)
+		b.edge(after)
+	}
+	b.edge(body)
+
+	b.startBlock(body)
+	b.breaks = append(b.breaks, after)
+	b.continues = append(b.continues, post)
+	b.stmtList(s.Body.List)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.jump(post)
+
+	if s.Post != nil {
+		b.startBlock(post)
+		b.add(s.Post)
+		b.jump(head)
+	}
+	b.startBlock(after)
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	head := b.newBlock()
+	body := b.newBlock()
+	after := b.newBlock()
+	b.labelFor(after, head)
+
+	b.jump(head)
+	b.startBlock(head)
+	b.add(s.X)
+	b.edge(after) // zero iterations
+	b.edge(body)
+
+	b.startBlock(body)
+	b.breaks = append(b.breaks, after)
+	b.continues = append(b.continues, head)
+	b.stmtList(s.Body.List)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.jump(head)
+
+	b.startBlock(after)
+}
+
+// switchBody handles switch, type switch (fallthrough allowed when
+// isSelect is false for plain switch only; type switches never contain
+// fallthrough, so allowing the edge is harmless) and select clause lists.
+func (b *builder) switchBody(body *ast.BlockStmt, isSelect bool) {
+	head := b.cur
+	after := b.newBlock()
+	b.labelFor(after, nil)
+
+	var caseBlocks []*Block
+	var clauses []ast.Stmt
+	hasDefault := false
+	for _, cl := range body.List {
+		caseBlocks = append(caseBlocks, b.newBlock())
+		clauses = append(clauses, cl)
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+		}
+	}
+	for _, cb := range caseBlocks {
+		if head != nil {
+			head.addSucc(cb)
+		}
+	}
+	// A switch with no default can take none of the cases; an empty or
+	// default-free select can only proceed through a case (a select with
+	// no cases blocks forever, which the absent edge models).
+	if head != nil && !hasDefault && !isSelect {
+		head.addSucc(after)
+	}
+
+	b.breaks = append(b.breaks, after)
+	for i, cl := range clauses {
+		b.startBlock(caseBlocks[i])
+		var stmts []ast.Stmt
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+		case *ast.CommClause:
+			b.add(c.Comm)
+			stmts = c.Body
+		}
+		// A trailing fallthrough chains into the next case body; it can
+		// only appear as the final statement, so it is handled here
+		// structurally rather than in the generic branch logic.
+		if n := len(stmts); n > 0 && i+1 < len(caseBlocks) {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				b.stmtList(stmts[:n-1])
+				b.add(br)
+				b.jump(caseBlocks[i+1])
+				continue
+			}
+		}
+		b.stmtList(stmts)
+		b.jump(after)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.startBlock(after)
+}
+
+// noReturn reports whether a call statement never returns control.
+func (b *builder) noReturn(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			if b.info == nil {
+				return true
+			}
+			_, isBuiltin := b.info.Uses[fun].(*types.Builtin)
+			return isBuiltin
+		}
+	case *ast.SelectorExpr:
+		if b.info == nil {
+			return false
+		}
+		fn, ok := b.info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() + "." + fn.Name() {
+		case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln", "runtime.Goexit":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,366 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// build parses src as a function body inside a stub function and returns
+// its graph (no type info: panic recognized by name only).
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body, nil)
+}
+
+// nodeBlock finds the first block containing a node that mentions the
+// named identifier.
+func nodeBlock(t *testing.T, g *Graph, want string) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if containsIdent(n, want) {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block contains %q", want)
+	return nil
+}
+
+// containsIdent reports whether the node's subtree has an identifier of
+// the given name.
+func containsIdent(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// reaches reports whether to is reachable from from along successor edges.
+func reaches(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	var dfs func(b *Block) bool
+	dfs = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(from)
+}
+
+// reachesAvoiding reports whether Exit is reachable from from without
+// passing through a block containing the named identifier — the shape of
+// lockcheck's "Lock without Unlock on some path" query.
+func reachesAvoiding(g *Graph, from *Block, avoid string) bool {
+	seen := map[*Block]bool{}
+	var dfs func(b *Block) bool
+	dfs = func(b *Block) bool {
+		if b == g.Exit {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, n := range b.Nodes {
+			if containsIdent(n, avoid) {
+				return false
+			}
+		}
+		for _, s := range b.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(from)
+}
+
+func TestIfBothArmsJoin(t *testing.T) {
+	g := build(t, `
+	if cond {
+		a()
+	} else {
+		b()
+	}
+	c()
+	`)
+	ab := nodeBlock(t, g, "a")
+	bb := nodeBlock(t, g, "b")
+	cb := nodeBlock(t, g, "c")
+	if !reaches(ab, cb) || !reaches(bb, cb) {
+		t.Fatal("both if arms must reach the join")
+	}
+	if reaches(ab, bb) {
+		t.Fatal("then arm must not reach else arm")
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestEarlyReturnSkipsTail(t *testing.T) {
+	g := build(t, `
+	lock()
+	if cond {
+		return
+	}
+	unlock()
+	`)
+	lb := nodeBlock(t, g, "lock")
+	// A path from lock() to Exit that avoids unlock() exists: the early
+	// return.
+	if !reachesAvoiding(g, lb, "unlock") {
+		t.Fatal("early return path to exit not found")
+	}
+}
+
+func TestDeferCoversAllPaths(t *testing.T) {
+	g := build(t, `
+	lock()
+	defer unlock()
+	if cond {
+		return
+	}
+	work()
+	`)
+	db := nodeBlock(t, g, "unlock")
+	if db != g.Entry && !reaches(g.Entry, db) {
+		t.Fatal("defer not reachable from entry")
+	}
+	// The defer is in the same straight-line block as lock(): every path
+	// from lock passes it.
+	lb := nodeBlock(t, g, "lock")
+	if lb != db {
+		t.Fatalf("lock and its immediate defer should share a block (got %d and %d)", lb.Index, db.Index)
+	}
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	g := build(t, `
+	for i := 0; i < n; i++ {
+		if stop {
+			break
+		}
+		if skip {
+			continue
+		}
+		body()
+	}
+	after()
+	`)
+	bb := nodeBlock(t, g, "body")
+	ab := nodeBlock(t, g, "after")
+	if !reaches(bb, ab) {
+		t.Fatal("loop body must reach after via cond exit")
+	}
+	if !reaches(bb, bb) {
+		t.Fatal("loop body must reach itself via backedge")
+	}
+}
+
+func TestInfiniteLoopWithoutBreakNeverExits(t *testing.T) {
+	g := build(t, `
+	for {
+		body()
+	}
+	`)
+	if reaches(g.Entry, g.Exit) {
+		t.Fatal("for{} with no break must not reach exit")
+	}
+	g = build(t, `
+	for {
+		if done {
+			break
+		}
+	}
+	after()
+	`)
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("for{} with break must reach exit")
+	}
+}
+
+func TestRangeZeroIterations(t *testing.T) {
+	g := build(t, `
+	for _, v := range xs {
+		body(v)
+	}
+	after()
+	`)
+	ab := nodeBlock(t, g, "after")
+	if !reaches(g.Entry, ab) {
+		t.Fatal("after must be reachable (zero iterations)")
+	}
+	bb := nodeBlock(t, g, "body")
+	if !reaches(bb, bb) {
+		t.Fatal("range body must loop")
+	}
+}
+
+func TestSwitchNoDefaultFallsThrough(t *testing.T) {
+	g := build(t, `
+	switch x {
+	case 1:
+		a()
+	case 2:
+		b()
+	}
+	after()
+	`)
+	ab := nodeBlock(t, g, "after")
+	for _, name := range []string{"a", "b"} {
+		cb := nodeBlock(t, g, name)
+		if !reaches(cb, ab) {
+			t.Fatalf("case %s must reach after", name)
+		}
+	}
+	// No-case path: entry reaches after without a or b.
+	if !reachesAvoidingBoth(g, g.Entry, "a", "b") {
+		t.Fatal("switch without default must have a skip path")
+	}
+}
+
+func reachesAvoidingBoth(g *Graph, from *Block, x, y string) bool {
+	seen := map[*Block]bool{}
+	var dfs func(b *Block) bool
+	dfs = func(b *Block) bool {
+		if b == g.Exit {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, n := range b.Nodes {
+			if containsIdent(n, x) || containsIdent(n, y) {
+				return false
+			}
+		}
+		for _, s := range b.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(from)
+}
+
+func TestFallthroughChainsCases(t *testing.T) {
+	g := build(t, `
+	switch x {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	}
+	`)
+	ab := nodeBlock(t, g, "a")
+	bb := nodeBlock(t, g, "b")
+	if !reaches(ab, bb) {
+		t.Fatal("fallthrough must chain case 1 into case 2")
+	}
+}
+
+func TestSelectBlocksWithoutDefault(t *testing.T) {
+	g := build(t, `
+	select {
+	case <-ch:
+		a()
+	}
+	after()
+	`)
+	ab := nodeBlock(t, g, "after")
+	if !reaches(g.Entry, ab) {
+		t.Fatal("select case must reach after")
+	}
+	// after is only reachable through the case.
+	if reachesAvoiding(g, g.Entry, "a") {
+		t.Fatal("select without default must not skip its cases")
+	}
+}
+
+func TestPanicTerminatesPath(t *testing.T) {
+	g := build(t, `
+	lock()
+	if bad {
+		panic("boom")
+	}
+	unlock()
+	`)
+	lb := nodeBlock(t, g, "lock")
+	// The only path to Exit goes through unlock: panic does not reach
+	// Exit.
+	if reachesAvoiding(g, lb, "unlock") {
+		t.Fatal("panic path must not count as reaching exit")
+	}
+}
+
+func TestGotoLabel(t *testing.T) {
+	g := build(t, `
+	i := 0
+loop:
+	body()
+	if i < n {
+		goto loop
+	}
+	after()
+	`)
+	bb := nodeBlock(t, g, "body")
+	if !reaches(bb, bb) {
+		t.Fatal("goto must create the backedge")
+	}
+	ab := nodeBlock(t, g, "after")
+	if !reaches(bb, ab) {
+		t.Fatal("fallthrough path to after missing")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := build(t, `
+outer:
+	for {
+		for {
+			if done {
+				break outer
+			}
+			inner()
+		}
+	}
+	after()
+	`)
+	ab := nodeBlock(t, g, "after")
+	if !reaches(g.Entry, ab) {
+		t.Fatal("break outer must reach after")
+	}
+	ib := nodeBlock(t, g, "inner")
+	if reachesAvoiding(g, ib, "done") {
+		t.Fatal("inner loop has no other way out")
+	}
+}

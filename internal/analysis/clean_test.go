@@ -33,8 +33,12 @@ func TestMglintCleanOnRepo(t *testing.T) {
 		t.Fatalf("running analyzers: %v", err)
 	}
 	// Load threads one FileSet through every package, so any package's
-	// Fset resolves any diagnostic's position.
+	// Fset resolves any diagnostic's position. Suppressed diagnostics are
+	// the documented waivers; only unsuppressed ones fail the build.
 	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
 		t.Errorf("%s: %s (%s)", pkgs[0].Fset.Position(d.Pos), d.Message, d.Analyzer)
 	}
 }

@@ -114,12 +114,19 @@ func (d *directives) add(fset *token.FileSet, c *ast.Comment) {
 
 // suppressed reports whether diagnostic d is waived by a directive.
 func (ds *directives) suppressed(fset *token.FileSet, d Diagnostic) bool {
-	pos := fset.Position(d.Pos)
-	if set := ds.files[pos.Filename]; set[d.Analyzer] {
+	return ds.suppressedAt(fset, d.Pos, d.Analyzer)
+}
+
+// suppressedAt reports whether a finding of analyzer at pos would be
+// waived. Analyzers use this (via Pass.Waived) during fact computation so
+// a waived occurrence does not export a fact that flags its callers.
+func (ds *directives) suppressedAt(fset *token.FileSet, p token.Pos, analyzer string) bool {
+	pos := fset.Position(p)
+	if set := ds.files[pos.Filename]; set[analyzer] {
 		return true
 	}
 	if byLine := ds.lines[pos.Filename]; byLine != nil {
-		if set := byLine[pos.Line]; set[d.Analyzer] {
+		if set := byLine[pos.Line]; set[analyzer] {
 			return true
 		}
 	}

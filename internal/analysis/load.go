@@ -24,6 +24,13 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// FactsOnly marks a unit analyzed for fact export but not for
+	// diagnostics: the plain variant of a test-augmented package. The
+	// augmented variant re-reports everything the plain one would, but
+	// importers depend on the plain variant, so it must still run — and
+	// run first — for its facts.
+	FactsOnly bool
 }
 
 // listEntry is the subset of `go list -json` output the loader consumes.
@@ -77,13 +84,16 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if !inModule(e, modPath) || strings.HasSuffix(e.ImportPath, ".test") {
 			continue
 		}
-		if e.ForTest == "" && augmented[e.ImportPath] {
-			continue // the "p [p.test]" variant supersedes p: same files plus tests
-		}
 		pkg, err := typecheckEntry(fset, e, exports)
 		if err != nil {
 			return nil, err
 		}
+		// The "p [p.test]" variant supersedes p for reporting (same files
+		// plus tests), but the plain variant still runs facts-only: other
+		// packages import plain p, and their fact lookups must be served
+		// before the augmented variant — which may import those very
+		// packages — can run.
+		pkg.FactsOnly = e.ForTest == "" && augmented[e.ImportPath]
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil

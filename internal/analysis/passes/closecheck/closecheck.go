@@ -20,19 +20,34 @@
 //
 // Deliberate discards stay possible and visible: assign to blank
 // (`_ = w.Close()`) or waive with //mglint:ignore closecheck <reason>.
+//
+// The analyzer is interprocedural: a function that returns a file it
+// opened for writing (os.Create / os.OpenFile, directly or through
+// another fact-carrying opener) exports a ReturnsWriteHandle fact, and
+// callers — in any package — treat the returned file as a write handle.
+// `f, _ := artifacts.CreateCheckpoint(path); defer f.Close()` is caught
+// exactly like `f, _ := os.Create(path); defer f.Close()`.
 package closecheck
 
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"mgdiffnet/internal/analysis"
 )
 
+// ReturnsWriteHandle marks a function whose *os.File result is opened
+// for writing: callers must treat it like os.Create's result.
+type ReturnsWriteHandle struct{}
+
+func (*ReturnsWriteHandle) AFact() {}
+
 var Analyzer = &analysis.Analyzer{
-	Name: "closecheck",
-	Doc:  "flag dropped errors from Close/Flush/Sync/Write on buffered writers",
-	Run:  run,
+	Name:      "closecheck",
+	Doc:       "flag dropped errors from Close/Flush/Sync/Write on buffered writers, tracking write handles across calls via facts",
+	FactTypes: []analysis.Fact{(*ReturnsWriteHandle)(nil)},
+	Run:       run,
 }
 
 var checkedMethods = map[string]bool{
@@ -54,51 +69,157 @@ var writerTypes = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
+	openers := collectOpeners(pass)
+	for fn := range openers {
+		pass.ExportObjectFact(fn, &ReturnsWriteHandle{})
+	}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkFunc(pass, fd.Body)
+			checkFunc(pass, fd.Body, openers)
 		}
 	}
 	return nil
 }
 
-func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
-	// Receivers whose .Error() is consulted somewhere in the function:
-	// the csv.Writer protocol.
-	errorChecked := make(map[types.Object]bool)
-	// Locals assigned from os.Create/os.OpenFile: write handles.
-	writeFiles := make(map[types.Object]bool)
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Error" {
-				if obj := rootObject(pass, sel.X); obj != nil {
-					errorChecked[obj] = true
-				}
+// opensForWrite reports whether a call produces a write handle: os.Create
+// or os.OpenFile directly, or any function carrying a ReturnsWriteHandle
+// fact — same-package through the local set, cross-package through the
+// fact store.
+func opensForWrite(pass *analysis.Pass, call *ast.CallExpr, local map[*types.Func]bool) bool {
+	if isWriteOpen(pass, call) {
+		return true
+	}
+	var fn *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ = pass.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pass.Info.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil {
+		return false
+	}
+	if local[fn] {
+		return true
+	}
+	var fact ReturnsWriteHandle
+	return pass.ImportObjectFact(fn, &fact)
+}
+
+// collectOpeners finds, to a fixpoint, package-level functions that
+// return a write-opened *os.File: a return statement hands back either a
+// fresh open call's result or a local tracked as a write handle.
+func collectOpeners(pass *analysis.Pass) map[*types.Func]bool {
+	type decl struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []decl
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Type.Results == nil {
+				continue
 			}
-		case *ast.AssignStmt:
-			for _, rhs := range n.Rhs {
-				call, ok := rhs.(*ast.CallExpr)
-				if !ok || !isWriteOpen(pass, call) {
-					continue
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls = append(decls, decl{fn, fd.Body})
+		}
+	}
+	openers := make(map[*types.Func]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if openers[d.fn] {
+				continue
+			}
+			handles := writeHandles(pass, d.body, openers)
+			returns := false
+			ast.Inspect(d.body, func(n ast.Node) bool {
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false
 				}
-				if len(n.Lhs) > 0 {
-					if id, ok := n.Lhs[0].(*ast.Ident); ok {
-						if obj := pass.Info.Defs[id]; obj != nil {
-							writeFiles[obj] = true
-						} else if obj := pass.Info.Uses[id]; obj != nil {
-							writeFiles[obj] = true
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					switch r := res.(type) {
+					case *ast.CallExpr:
+						if opensForWrite(pass, r, openers) {
+							returns = true
 						}
+					case *ast.Ident:
+						if obj := pass.Info.Uses[r]; obj != nil && handles[obj] {
+							returns = true
+						}
+					}
+				}
+				return true
+			})
+			if returns {
+				openers[d.fn] = true
+				changed = true
+			}
+		}
+	}
+	return openers
+}
+
+// writeHandles maps locals assigned from write-opening calls.
+func writeHandles(pass *analysis.Pass, body *ast.BlockStmt, openers map[*types.Func]bool) map[types.Object]bool {
+	handles := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !opensForWrite(pass, call, openers) {
+				continue
+			}
+			if len(as.Lhs) > 0 {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						handles[obj] = true
+					} else if obj := pass.Info.Uses[id]; obj != nil {
+						handles[obj] = true
 					}
 				}
 			}
 		}
 		return true
 	})
+	return handles
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, openers map[*types.Func]bool) {
+	// Receivers whose .Error() is consulted somewhere in the function:
+	// the csv.Writer protocol.
+	errorChecked := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Error" {
+				if obj := rootObject(pass, sel.X); obj != nil {
+					errorChecked[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	// Locals holding write handles — opened here or returned by a
+	// fact-carrying opener in any package.
+	writeFiles := writeHandles(pass, body, openers)
 
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {

@@ -10,3 +10,11 @@ import (
 func TestClosecheck(t *testing.T) {
 	analysistest.Run(t, "testdata", closecheck.Analyzer, "closecheck")
 }
+
+// TestClosecheckCrossPackageFacts loads artifacts together with its
+// fileutil dependency: a file returned by a fact-carrying opener is
+// tracked as a write handle across the package boundary, while read-only
+// opens stay exempt.
+func TestClosecheckCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, "testdata", closecheck.Analyzer, "artifacts")
+}

@@ -1,0 +1,50 @@
+// Golden consumer package: files opened through fileutil's fact-carrying
+// openers are tracked as write handles across the package boundary.
+package artifacts
+
+import "fileutil"
+
+func saveDeferred(path string) error {
+	f, err := fileutil.CreateLog(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred Close on a file opened for writing`
+	_, err = f.WriteString("x")
+	return err
+}
+
+func saveIndirect(path string) error {
+	f, err := fileutil.CreateIndirect(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred Close on a file opened for writing`
+	_, err = f.WriteString("x")
+	return err
+}
+
+func readDeferred(path string) error {
+	f, err := fileutil.OpenRead(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // read-only handle: defer-close is fine
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return err
+}
+
+func saveChecked(path string) (err error) {
+	f, cerr := fileutil.CreateLog(path)
+	if cerr != nil {
+		return cerr
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.WriteString("x")
+	return err
+}

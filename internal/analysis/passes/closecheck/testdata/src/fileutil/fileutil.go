@@ -1,0 +1,27 @@
+// Golden helper package: functions returning write-opened files export
+// ReturnsWriteHandle facts, so callers in any package treat the result
+// exactly like os.Create's.
+package fileutil
+
+import "os"
+
+// CreateLog returns a write handle: exports ReturnsWriteHandle.
+func CreateLog(path string) (*os.File, error) {
+	return os.Create(path)
+}
+
+// CreateIndirect routes through a local and another opener: the fact
+// still propagates (intra-package fixpoint).
+func CreateIndirect(path string) (*os.File, error) {
+	f, err := CreateLog(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// OpenRead returns a read-only handle: no fact, callers may defer Close
+// freely.
+func OpenRead(path string) (*os.File, error) {
+	return os.Open(path)
+}

@@ -14,3 +14,11 @@ func TestDetrandCriticalPackage(t *testing.T) {
 func TestDetrandNonCriticalPackageIsSilent(t *testing.T) {
 	analysistest.Run(t, "testdata", detrand.Analyzer, "experiments")
 }
+
+// TestDetrandCrossPackageFacts loads the critical "core" golden package
+// together with its non-critical "clockutil" dependency: sinks two calls
+// deep in the helper are reported at the boundary calls in core, waived
+// sinks propagate nothing, and waivers also work at the boundary.
+func TestDetrandCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer, "core")
+}

@@ -1,0 +1,38 @@
+// Golden helper package for cross-package fact propagation: "clockutil"
+// is not determinism-critical, so nothing is reported here — but its
+// functions export UsesWallClock / UsesGlobalRand facts that flag their
+// callers in critical packages, two calls deep.
+package clockutil
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock: the sink, one level down.
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter reaches time.Now two calls deep: Jitter -> stamp -> time.Now.
+func Jitter() int64 {
+	return stamp() ^ 0x5d
+}
+
+// Draw reaches the process-global random source.
+func Draw() float64 {
+	return rand.Float64()
+}
+
+// SeededDraw is deterministic under the caller's control: no fact.
+func SeededDraw(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}
+
+// WaivedStamp's clock read is waived, so it exports no fact and its
+// callers stay clean: the waiver documents the exception once, at the
+// sink, instead of tainting every transitive caller.
+func WaivedStamp() int64 {
+	t := time.Now() //mglint:ignore detrand deadline bookkeeping, never feeds numeric state
+	return t.Unix()
+}

@@ -1,0 +1,26 @@
+// Golden critical package ("core") exercising interprocedural detrand:
+// the sinks live in the non-critical clockutil package, so they are
+// reported here, at the boundary calls, with the chain in the message.
+package core
+
+import "clockutil"
+
+func schedule() int64 {
+	return clockutil.Jitter() // want `call to Jitter reaches time.Now \(Jitter -> stamp -> time.Now\)`
+}
+
+func draw() float64 {
+	return clockutil.Draw() // want `call to Draw reaches the process-global random source \(Draw -> rand.Float64\)`
+}
+
+func seeded() float64 {
+	return clockutil.SeededDraw(42) // explicit seed: no fact, no finding
+}
+
+func waivedAtSource() int64 {
+	return clockutil.WaivedStamp() // sink waived in clockutil: no fact, no finding
+}
+
+func waivedAtBoundary() int64 {
+	return clockutil.Jitter() //mglint:ignore detrand startup-only jitter for connection backoff, never feeds numeric state
+}

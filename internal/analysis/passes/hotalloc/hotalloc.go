@@ -27,6 +27,18 @@
 // Early-exit blocks that end in return or panic — argument validation,
 // error propagation — are cold by construction and exempt, so hot
 // functions keep honest fmt.Errorf error paths without waivers.
+//
+// The analyzer is interprocedural: every analyzed package runs the same
+// allocation checks in a silent collect pass over all of its functions
+// and exports an AllocatesOnSteadyPath fact for each one that would have
+// been flagged. A hotpath function that calls a fact-carrying helper —
+// in the same package or across a package boundary — is then reported at
+// the call site: the helper allocates on the hot function's behalf, and
+// the AllocsPerRun guard charges the hot function either way. Functions
+// themselves annotated //mglint:hotpath export no fact: they are held
+// alloc-free directly, and calling them from another hot function is the
+// intended composition. Waived allocations (//mglint:ignore hotalloc)
+// export no fact either.
 package hotalloc
 
 import (
@@ -38,25 +50,100 @@ import (
 	"mgdiffnet/internal/analysis"
 )
 
+// AllocatesOnSteadyPath marks a function that allocates outside its cold
+// (early-exit) blocks. At names the first allocation found, e.g. "make"
+// or "append".
+type AllocatesOnSteadyPath struct{ At string }
+
+func (*AllocatesOnSteadyPath) AFact() {}
+
 var Analyzer = &analysis.Analyzer{
-	Name: "hotalloc",
-	Doc:  "flag allocation sources in //mglint:hotpath functions",
-	Run:  run,
+	Name:      "hotalloc",
+	Doc:       "flag allocation sources in //mglint:hotpath functions, including allocating callees via facts",
+	FactTypes: []analysis.Fact{(*AllocatesOnSteadyPath)(nil)},
+	Run:       run,
 }
 
 const marker = "//mglint:hotpath"
 
 func run(pass *analysis.Pass) error {
+	// Collect pass: every non-test, non-hotpath function that allocates on
+	// its steady path exports a fact for callers in hot code to see.
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isHotpath(fd) {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if at := firstSteadyAlloc(pass, fd); at != "" {
+				pass.ExportObjectFact(fn, &AllocatesOnSteadyPath{At: at})
+			}
+		}
+	}
+
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || !isHotpath(fd) {
 				continue
 			}
-			newChecker(pass, fd).walk(fd.Body)
+			c := newChecker(pass, fd)
+			c.walk(fd.Body)
+			c.checkAllocatingCallees(fd.Body)
 		}
 	}
 	return nil
+}
+
+// firstSteadyAlloc runs the checker silently over one function and
+// returns the kind of the first non-waived steady-path allocation, or ""
+// when the function is clean.
+func firstSteadyAlloc(pass *analysis.Pass, fd *ast.FuncDecl) string {
+	c := newChecker(pass, fd)
+	c.collect = func(pos token.Pos, kind string) string {
+		if c.found == "" && !pass.Waived(pos) {
+			c.found = kind
+		}
+		return c.found
+	}
+	c.walk(fd.Body)
+	return c.found
+}
+
+// checkAllocatingCallees reports steady-path calls from a hot function to
+// targets carrying an AllocatesOnSteadyPath fact.
+func (c *checker) checkAllocatingCallees(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if c.cold[n] {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var fn *types.Func
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			fn, _ = c.pass.Info.Uses[fun].(*types.Func)
+		case *ast.SelectorExpr:
+			fn, _ = c.pass.Info.Uses[fun.Sel].(*types.Func)
+		}
+		if fn == nil {
+			return true
+		}
+		var fact AllocatesOnSteadyPath
+		if c.pass.ImportObjectFact(fn, &fact) {
+			c.pass.Reportf(call.Pos(), "call to %s allocates on the hot path (%s does %s on its steady path); inline an alloc-free variant or annotate %s //mglint:hotpath and fix it", fn.Name(), fn.Name(), fact.At, fn.Name())
+		}
+		return true
+	})
 }
 
 func isHotpath(fd *ast.FuncDecl) bool {
@@ -76,6 +163,20 @@ type checker struct {
 	fd   *ast.FuncDecl
 	cold map[ast.Node]bool     // early-exit blocks, exempt from checks
 	safe map[*ast.FuncLit]bool // literals bound to locals that never escape
+
+	// collect, when set, switches the checker to silent fact-collection:
+	// instead of reporting, each finding's kind is recorded via this hook.
+	collect func(pos token.Pos, kind string) string
+	found   string
+}
+
+// report emits a diagnostic, or in collect mode records the finding kind.
+func (c *checker) report(pos token.Pos, kind, format string, args ...interface{}) {
+	if c.collect != nil {
+		c.collect(pos, kind)
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
 }
 
 func newChecker(pass *analysis.Pass, fd *ast.FuncDecl) *checker {
@@ -186,15 +287,15 @@ func (c *checker) walk(n ast.Node) {
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
 				if _, ok := n.X.(*ast.CompositeLit); ok {
-					c.pass.Reportf(n.Pos(), "composite literal address in hot path allocates; hoist it to a reused field or variable")
+					c.report(n.Pos(), "&composite literal", "composite literal address in hot path allocates; hoist it to a reused field or variable")
 				}
 			}
 		case *ast.GoStmt:
-			c.pass.Reportf(n.Pos(), "go statement in hot path allocates a goroutine and closure per call")
+			c.report(n.Pos(), "go statement", "go statement in hot path allocates a goroutine and closure per call")
 			return false // don't also flag its func literal
 		case *ast.FuncLit:
 			if !c.safe[n] {
-				c.pass.Reportf(n.Pos(), "func literal escapes in hot path: its closure environment is heap-allocated per call")
+				c.report(n.Pos(), "escaping func literal", "func literal escapes in hot path: its closure environment is heap-allocated per call")
 			}
 		}
 		return true
@@ -207,17 +308,50 @@ func (c *checker) checkCall(call *ast.CallExpr) {
 			switch b.Name() {
 			case "make":
 				if !c.capGuarded(call) {
-					c.pass.Reportf(call.Pos(), "make in hot path allocates per call; use a grow-only scratch buffer (make guarded by `if cap(buf) < n`)")
+					c.report(call.Pos(), "make", "make in hot path allocates per call; use a grow-only scratch buffer (make guarded by `if cap(buf) < n`)")
 				}
 			case "new":
-				c.pass.Reportf(call.Pos(), "new in hot path allocates per call; reuse a field or stack value")
+				c.report(call.Pos(), "new", "new in hot path allocates per call; reuse a field or stack value")
 			case "append":
-				c.pass.Reportf(call.Pos(), "append in hot path may grow and copy; write into a pre-sized buffer")
+				if !c.truncatedReuse(call) {
+					c.report(call.Pos(), "append", "append in hot path may grow and copy; write into a pre-sized buffer")
+				}
 			}
 			return
 		}
 	}
 	c.checkBoxing(call)
+}
+
+// truncatedReuse reports whether an append's destination is reset with
+// `x = x[:0]` in the same function — the truncate-then-append scratch
+// idiom, which reuses the backing array and amortizes to zero once the
+// capacity high-water mark is reached.
+func (c *checker) truncatedReuse(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	dst := types.ExprString(call.Args[0])
+	reused := false
+	ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		sl, ok := as.Rhs[0].(*ast.SliceExpr)
+		if !ok || sl.Low != nil || sl.Slice3 {
+			return true
+		}
+		high, ok := sl.High.(*ast.BasicLit)
+		if !ok || high.Value != "0" {
+			return true
+		}
+		if types.ExprString(as.Lhs[0]) == dst && types.ExprString(sl.X) == dst {
+			reused = true
+		}
+		return true
+	})
+	return reused
 }
 
 // capGuarded reports whether the make call sits inside an if whose
@@ -284,7 +418,7 @@ func (c *checker) checkBoxing(call *ast.CallExpr) {
 		if tv, ok := c.pass.Info.Types[arg]; ok && tv.IsNil() {
 			continue
 		}
-		c.pass.Reportf(arg.Pos(), "value of type %s boxed into interface parameter in hot path: the conversion heap-allocates per call", at)
+		c.report(arg.Pos(), "interface boxing", "value of type %s boxed into interface parameter in hot path: the conversion heap-allocates per call", at)
 	}
 }
 

@@ -10,3 +10,11 @@ import (
 func TestHotalloc(t *testing.T) {
 	analysistest.Run(t, "testdata", hotalloc.Analyzer, "hotalloc")
 }
+
+// TestHotallocCrossPackageFacts loads hotcaller together with its
+// allocutil dependency: hot functions are flagged on calls to helpers
+// whose AllocatesOnSteadyPath fact crossed the package boundary, and
+// stay clean on alloc-free, cap-guarded, waived, or cold-path callees.
+func TestHotallocCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "hotcaller")
+}

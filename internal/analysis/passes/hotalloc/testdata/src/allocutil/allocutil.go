@@ -1,0 +1,46 @@
+// Golden helper package: functions that allocate on their steady path
+// export AllocatesOnSteadyPath facts for hot callers in other packages.
+package allocutil
+
+import "fmt"
+
+var scratch []float64
+
+// Grow allocates on its steady path: callers in hot code are flagged.
+func Grow(xs []int, n int) []int {
+	for i := 0; i < n; i++ {
+		xs = append(xs, i)
+	}
+	return xs
+}
+
+// Fill writes in place: no allocation, no fact.
+func Fill(xs []int, v int) {
+	for i := range xs {
+		xs[i] = v
+	}
+}
+
+// Scratch uses the cap-guarded grow-only idiom: amortizes to zero, no
+// fact.
+func Scratch(n int) []float64 {
+	if cap(scratch) < n {
+		scratch = make([]float64, n)
+	}
+	return scratch[:n]
+}
+
+// ColdAlloc allocates only on its early-exit error path: cold by
+// construction, no fact.
+func ColdAlloc(xs []int, n int) ([]int, error) {
+	if len(xs) < n {
+		return nil, fmt.Errorf("allocutil: need %d slots, have %d", n, len(xs))
+	}
+	return xs[:n], nil
+}
+
+// WaivedAlloc's allocation is waived, so it exports no fact.
+func WaivedAlloc(n int) []int {
+	//mglint:ignore hotalloc ownership of the result transfers to the caller; this is the one sanctioned allocation
+	return make([]int, n)
+}

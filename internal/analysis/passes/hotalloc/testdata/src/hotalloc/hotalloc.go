@@ -83,6 +83,14 @@ func hotVariadicBoxing(n int, vs []interface{}) {
 }
 
 //mglint:hotpath
+func hotTruncateReuse(s *state, n int) {
+	s.buf = s.buf[:0]
+	for i := 0; i < n; i++ {
+		s.buf = append(s.buf, float64(i)) // truncate-then-append reuse: amortizes to zero
+	}
+}
+
+//mglint:hotpath
 func hotWaived(n int) []float64 {
 	//mglint:ignore hotalloc the caller owns the result; this is the one sanctioned allocation
 	out := make([]float64, n)

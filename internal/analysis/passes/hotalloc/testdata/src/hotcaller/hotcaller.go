@@ -1,0 +1,26 @@
+// Golden consumer package: hot functions calling helpers in allocutil
+// are flagged exactly when the helper carries an AllocatesOnSteadyPath
+// fact.
+package hotcaller
+
+import "allocutil"
+
+var data []int
+
+//mglint:hotpath
+func process(n int) {
+	data = allocutil.Grow(data, n) // want `call to Grow allocates on the hot path \(Grow does append on its steady path\)`
+	allocutil.Fill(data, 1)        // alloc-free helper: no fact, no finding
+	_ = allocutil.Scratch(n)       // cap-guarded grow-only helper: no fact
+	_ = allocutil.WaivedAlloc(n)   // allocation waived at source: no fact
+}
+
+//mglint:hotpath
+func coldCall(n int) ([]int, error) {
+	if n < 0 {
+		// Early-exit block: calling an allocating helper on the cold
+		// path is exempt, same as allocating directly there.
+		return allocutil.Grow(nil, 8), nil
+	}
+	return allocutil.ColdAlloc(data, n)
+}

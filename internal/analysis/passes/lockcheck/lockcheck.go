@@ -1,0 +1,395 @@
+// Package lockcheck enforces lock discipline on sync.Mutex and
+// sync.RWMutex — the invariant class behind the membership table, the
+// serving engine's cache/in-flight maps, and the TCP transport's
+// per-connection write locks, all of which the elastic-recovery and
+// admission-control work keeps churning. A lock bug there doesn't fail a
+// test; it deadlocks a training world or wedges the serving engine under
+// load, usually only at scale.
+//
+// Three checks, the first path-sensitive over the internal/analysis/cfg
+// control-flow graph:
+//
+//   - every Lock/RLock must reach a matching Unlock/RUnlock on every
+//     path to function exit, or be followed by a defer of the unlock.
+//     Early returns that skip the unlock are the classic leak; paths that
+//     end in panic or os.Exit are exempt (the process dies holding the
+//     lock either way);
+//   - locks must not be copied by value: receivers, parameters, results,
+//     assignments and range variables whose type is — or transitively
+//     contains — sync.Mutex, sync.RWMutex, sync.WaitGroup or sync.Once.
+//     A copied lock splits into two independent locks and the mutual
+//     exclusion silently evaporates;
+//   - no blocking Transport Send/Recv while holding a lock: a collective
+//     op against a stalled peer can block for the full I/O deadline, and
+//     holding an engine or membership lock across it wedges every other
+//     goroutine that needs the lock (heartbeats, aborts, Solve calls).
+//
+// Deliberate exceptions are waived in place with
+// //mglint:ignore lockcheck <reason>.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mgdiffnet/internal/analysis"
+	"mgdiffnet/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "enforce Lock/Unlock pairing on every path, forbid lock copies and blocking sends under locks",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Every function body — declarations and literals — is analyzed
+		// independently; literals are opaque to the enclosing graph.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkPaths(pass, n.Body)
+				}
+				checkSignatureCopies(pass, n.Recv, n.Type)
+			case *ast.FuncLit:
+				checkPaths(pass, n.Body)
+				checkSignatureCopies(pass, nil, n.Type)
+			}
+			return true
+		})
+		checkValueCopies(pass, f)
+	}
+	return nil
+}
+
+// lockKind distinguishes the write pair (Lock/Unlock) from the read pair
+// (RLock/RUnlock); the two are independent critical sections.
+type lockKind int
+
+const (
+	writeLock lockKind = iota
+	readLock
+)
+
+// lockOp is one classified sync.Mutex/RWMutex method call statement.
+type lockOp struct {
+	key     string // source rendering of the receiver, e.g. "s.mu", "t.wmu[q]"
+	kind    lockKind
+	acquire bool
+}
+
+// classifyLockCall recognizes Lock/Unlock/RLock/RUnlock calls on
+// sync.Mutex and sync.RWMutex (including promoted methods of embedded
+// mutexes) and returns the op keyed by the receiver expression's source
+// form.
+func classifyLockCall(pass *analysis.Pass, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return lockOp{}, false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return lockOp{}, false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return lockOp{}, false
+	}
+	op := lockOp{key: types.ExprString(sel.X)}
+	switch fn.Name() {
+	case "Lock":
+		op.kind, op.acquire = writeLock, true
+	case "RLock":
+		op.kind, op.acquire = readLock, true
+	case "Unlock":
+		op.kind = writeLock
+	case "RUnlock":
+		op.kind = readLock
+	default:
+		return lockOp{}, false
+	}
+	return op, true
+}
+
+// stmtLockOp classifies a CFG node when it is a bare lock-method call
+// statement or a deferred one.
+func stmtLockOp(pass *analysis.Pass, n ast.Node) (op lockOp, deferred, ok bool) {
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		if call, isCall := n.X.(*ast.CallExpr); isCall {
+			op, ok = classifyLockCall(pass, call)
+			return op, false, ok
+		}
+	case *ast.DeferStmt:
+		op, ok = classifyLockCall(pass, n.Call)
+		return op, true, ok
+	}
+	return lockOp{}, false, false
+}
+
+// checkPaths runs the path-sensitive Lock/Unlock pairing and
+// send-under-lock checks over one function body.
+func checkPaths(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body, pass.Info)
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			op, deferred, ok := stmtLockOp(pass, n)
+			if !ok || !op.acquire || deferred {
+				continue
+			}
+			simulate(pass, g, b, i+1, n.Pos(), op)
+		}
+	}
+}
+
+// simulate walks every path from just after an acquire, looking for the
+// matching release. Reaching function exit still holding the lock is a
+// leak; a blocking Transport call encountered while held is reported at
+// the call. A deferred unlock removes the leak (it fires at exit) but
+// does NOT end the held region: statements after `defer mu.Unlock()`
+// still run under the lock, so the blocking-call scan continues.
+func simulate(pass *analysis.Pass, g *cfg.Graph, b *cfg.Block, start int, lockPos token.Pos, acq lockOp) {
+	type frame struct {
+		b        *cfg.Block
+		start    int
+		deferred bool // a matching defer-unlock is pending at exit
+	}
+	type visit struct {
+		b        *cfg.Block
+		deferred bool
+	}
+	visited := make(map[visit]bool)
+	leaked := false
+	reportedSends := make(map[token.Pos]bool)
+	stack := []frame{{b, start, false}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		released := false
+		for i := fr.start; i < len(fr.b.Nodes) && !released; i++ {
+			n := fr.b.Nodes[i]
+			if op, isDefer, ok := stmtLockOp(pass, n); ok && op.key == acq.key && op.kind == acq.kind {
+				switch {
+				case op.acquire && !isDefer:
+					// Re-acquire while held: this path deadlocks here
+					// rather than exiting unlocked; the second site gets
+					// its own simulation.
+					released = true
+				case isDefer && !op.acquire:
+					fr.deferred = true
+				case !op.acquire:
+					released = true // explicit unlock: held region ends here
+				}
+				continue
+			}
+			checkBlockingUnderLock(pass, n, acq, reportedSends)
+		}
+		if released {
+			continue
+		}
+		for _, s := range fr.b.Succs {
+			if s == g.Exit {
+				if !fr.deferred && !leaked {
+					leaked = true
+					pass.Reportf(lockPos, "%s.%s is not released on every path: a return can be reached without %s; unlock on each branch or defer it immediately",
+						acq.key, lockName(acq), unlockName(acq))
+				}
+				continue
+			}
+			v := visit{s, fr.deferred}
+			if !visited[v] {
+				visited[v] = true
+				stack = append(stack, frame{s, 0, fr.deferred})
+			}
+		}
+	}
+}
+
+func lockName(op lockOp) string {
+	if op.kind == readLock {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+func unlockName(op lockOp) string {
+	if op.kind == readLock {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// checkBlockingUnderLock flags Send/Recv calls on Transport-typed
+// receivers inside the node while the lock is held. Function literals are
+// skipped: their bodies run when called, not here.
+func checkBlockingUnderLock(pass *analysis.Pass, n ast.Node, acq lockOp, reported map[token.Pos]bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Send" && sel.Sel.Name != "Recv" {
+			return true
+		}
+		if _, isMethod := pass.Info.Selections[sel]; !isMethod {
+			return true
+		}
+		t := pass.TypeOf(sel.X)
+		if t == nil {
+			return true
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || !strings.Contains(named.Obj().Name(), "Transport") {
+			return true
+		}
+		if !reported[call.Pos()] {
+			reported[call.Pos()] = true
+			pass.Reportf(call.Pos(), "blocking %s.%s while holding %s: a stalled peer pins the lock for the full I/O deadline and wedges every goroutine that needs it; release the lock before transport calls",
+				named.Obj().Name(), sel.Sel.Name, acq.key)
+		}
+		return true
+	})
+}
+
+// --- copy-by-value checks ---
+
+// containsLock reports whether t is, or transitively contains by value, a
+// sync lock type. Pointers, slices, maps and channels break containment:
+// sharing a pointer to a lock is the correct pattern.
+func containsLock(t types.Type) bool {
+	return containsLock1(t, make(map[types.Type]bool))
+}
+
+func containsLock1(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once":
+				return true
+			}
+		}
+		return containsLock1(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock1(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock1(u.Elem(), seen)
+	}
+	return false
+}
+
+// checkSignatureCopies flags by-value receivers, parameters and results
+// whose type contains a lock.
+func checkSignatureCopies(pass *analysis.Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypeOf(field.Type)
+			if t == nil || !containsLock(t) {
+				continue
+			}
+			pass.Reportf(field.Pos(), "%s %s passes a lock by value: the copy locks independently of the original and mutual exclusion silently evaporates; pass a pointer",
+				what, types.ExprString(field.Type))
+		}
+	}
+	check(recv, "receiver")
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+}
+
+// isValueUse reports expressions that denote an existing value whose
+// assignment or argument passing performs a copy (as opposed to
+// composite literals, which initialize, or calls, whose copy happens in
+// the callee's return).
+func isValueUse(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return isValueUse(e.X)
+	}
+	return false
+}
+
+// checkValueCopies flags assignments, range clauses and call arguments
+// that copy lock-containing values.
+func checkValueCopies(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !isValueUse(rhs) {
+					continue
+				}
+				// `_ = s` discards the copy; nothing can lock it later.
+				if len(n.Lhs) == len(n.Rhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				t := pass.TypeOf(rhs)
+				if t != nil && containsLock(t) {
+					pass.Reportf(rhs.Pos(), "assignment copies %s, which contains a lock; the copy locks independently of the original", types.ExprString(rhs))
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				t := pass.TypeOf(n.Value)
+				if t != nil && containsLock(t) {
+					pass.Reportf(n.Value.Pos(), "range copies each element into %s, which contains a lock; range over indices or pointers instead", types.ExprString(n.Value))
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if !isValueUse(arg) {
+					continue
+				}
+				t := pass.TypeOf(arg)
+				if t != nil && containsLock(t) {
+					pass.Reportf(arg.Pos(), "argument copies %s, which contains a lock; pass a pointer", types.ExprString(arg))
+				}
+			}
+		}
+		return true
+	})
+}

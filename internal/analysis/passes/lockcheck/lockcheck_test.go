@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"mgdiffnet/internal/analysis/analysistest"
+	"mgdiffnet/internal/analysis/passes/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", lockcheck.Analyzer, "lockcheck")
+}

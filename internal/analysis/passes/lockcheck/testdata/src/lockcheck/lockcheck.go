@@ -1,0 +1,129 @@
+// Golden package for lockcheck: Lock/Unlock pairing over the CFG, lock
+// copies, and blocking transport calls under a held lock.
+package lockcheck
+
+import "sync"
+
+type state struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// FakeTransport matches the Transport naming convention lockcheck keys
+// on for the blocking-call check.
+type FakeTransport struct{}
+
+func (t *FakeTransport) Send(to int, data []float64) error   { return nil }
+func (t *FakeTransport) Recv(from int, data []float64) error { return nil }
+
+func earlyReturnLeak(s *state, bad bool) int {
+	s.mu.Lock() // want `s\.mu\.Lock is not released on every path`
+	if bad {
+		return -1
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+func rlockLeak(s *state, bad bool) int {
+	s.rw.RLock() // want `s\.rw\.RLock is not released on every path`
+	if bad {
+		return -1
+	}
+	s.rw.RUnlock()
+	return s.n
+}
+
+func deferredUnlockFine(s *state) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n > 0 {
+		return s.n
+	}
+	return 0
+}
+
+func branchUnlocksFine(s *state, bad bool) int {
+	s.mu.Lock()
+	if bad {
+		s.mu.Unlock()
+		return -1
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+func panicPathFine(s *state, bad bool) {
+	s.mu.Lock()
+	if bad {
+		panic("invariant broken") // the process dies holding the lock either way
+	}
+	s.mu.Unlock()
+}
+
+func loopReacquireFine(s *state, n int) {
+	for i := 0; i < n; i++ {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+func copyParam(s state) { // want `parameter state passes a lock by value`
+	_ = s
+}
+
+func (s state) method() int { // want `receiver state passes a lock by value`
+	return s.n
+}
+
+func pointerReceiverFine(s *state) int {
+	return s.n
+}
+
+func assignCopy(s *state) {
+	tmp := *s // want `assignment copies \*s`
+	_ = tmp
+}
+
+func rangeCopy(list []state) {
+	for _, s := range list { // want `range copies each element`
+		_ = s
+	}
+}
+
+func rangeIndexFine(list []state) {
+	for i := range list {
+		list[i].n = 0
+	}
+}
+
+func sendUnderLock(s *state, tr *FakeTransport, buf []float64) error {
+	s.mu.Lock()
+	err := tr.Send(1, buf) // want `blocking FakeTransport\.Send while holding s\.mu`
+	s.mu.Unlock()
+	return err
+}
+
+func recvUnderLock(s *state, tr *FakeTransport, buf []float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return tr.Recv(1, buf) // want `blocking FakeTransport\.Recv while holding s\.mu`
+}
+
+func sendAfterUnlockFine(s *state, tr *FakeTransport, buf []float64) error {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	return tr.Send(n, buf)
+}
+
+func waivedLeak(s *state, bad bool) int {
+	s.mu.Lock() //mglint:ignore lockcheck the caller holds the lock across the return by contract and releases it via CloseLocked
+	if bad {
+		return -1
+	}
+	s.mu.Unlock()
+	return s.n
+}

@@ -1,0 +1,94 @@
+// Golden package for wgcheck: WaitGroup counter discipline and the
+// Wait-under-lock deadlock shape.
+package wgcheck
+
+import "sync"
+
+type server struct {
+	mu   sync.Mutex
+	jobs []int
+	done int
+}
+
+func addInGoroutine(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want `wg\.Add inside the spawned goroutine races with Wait`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func addBeforeGoFine(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func doneNotAllPaths(jobs []int) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j int) { // want `wg\.Done is not reached on every path of this goroutine`
+			if j < 0 {
+				return
+			}
+			wg.Done()
+		}(j)
+	}
+	wg.Wait()
+}
+
+func deferDoneFine(jobs []int) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			if j < 0 {
+				return
+			}
+		}(j)
+	}
+	wg.Wait()
+}
+
+func waitUnderLock(s *server, n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			s.mu.Lock()
+			s.done++
+			s.mu.Unlock()
+		}()
+	}
+	s.mu.Lock()
+	wg.Wait() // want `wg\.Wait while holding s\.mu, which worker goroutines also lock`
+	s.mu.Unlock()
+}
+
+func waitAfterUnlockFine(s *server, n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			s.mu.Lock()
+			s.done++
+			s.mu.Unlock()
+		}()
+	}
+	s.mu.Lock()
+	s.jobs = s.jobs[:0]
+	s.mu.Unlock()
+	wg.Wait()
+}

@@ -1,0 +1,370 @@
+// Package wgcheck enforces sync.WaitGroup discipline in the
+// fan-out/fan-in shapes the codebase leans on: halo-exchange collectives,
+// batched inference dispatch, and checkpoint fan-out all spawn worker
+// goroutines and join them with a WaitGroup. Three hazards, each of which
+// has bitten real distributed-training code:
+//
+//   - Add called inside the spawned goroutine: the race where Wait runs
+//     before the goroutine gets scheduled and returns immediately with
+//     the counter still at zero. Add must happen in the spawning
+//     goroutine, before `go`;
+//   - Done not reached on every path: an early return or conditional
+//     skip inside the goroutine body leaks a counter increment and Wait
+//     blocks forever. The fix is almost always `defer wg.Done()` as the
+//     first statement;
+//   - Wait while holding a lock the workers also take: the waiter holds
+//     the lock, the workers block acquiring it, Done never runs —
+//     deadlock. Detected by pairing a path-sensitive held-lock scan with
+//     a package-wide inventory of locks taken inside `go` literals.
+//
+// Deliberate exceptions are waived in place with
+// //mglint:ignore wgcheck <reason>.
+package wgcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mgdiffnet/internal/analysis"
+	"mgdiffnet/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wgcheck",
+	Doc:  "enforce WaitGroup discipline: Add before go, Done on every path, no Wait under a lock workers take",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Package-wide pre-pass: which locks are acquired inside goroutine
+	// bodies anywhere in the package. Wait-under-lock is only a deadlock
+	// when a worker can contend for the held lock.
+	goLocked := collectGoroutineLocks(pass)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkAddInGoroutine(pass, lit)
+					checkDoneAllPaths(pass, lit)
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkWaitUnderLock(pass, n.Body, goLocked)
+				}
+			case *ast.FuncLit:
+				checkWaitUnderLock(pass, n.Body, goLocked)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// syncMethod resolves a call to a sync-package method and returns the
+// receiver expression, the receiver type name (Mutex, RWMutex, WaitGroup)
+// and the method name. Embedded/promoted forms resolve the same way.
+func syncMethod(pass *analysis.Pass, call *ast.CallExpr) (recv ast.Expr, typeName, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", "", false
+	}
+	fn, isFn := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", "", false
+	}
+	r := fn.Type().(*types.Signature).Recv()
+	if r == nil {
+		return nil, "", "", false
+	}
+	t := r.Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return nil, "", "", false
+	}
+	return sel.X, named.Obj().Name(), fn.Name(), true
+}
+
+// lockKey identifies a lock across function boundaries well enough to
+// match "lock held at Wait" against "lock taken in a worker goroutine".
+// For selector chains rooted in a variable of a named type (receivers,
+// parameters, fields) the key is type-based — e.mu in Solve and e.mu in a
+// worker spawned elsewhere both become "Engine.mu". For bare variables
+// the key is the object itself, so only goroutines capturing that very
+// variable match.
+type lockKey struct {
+	typeName string       // non-empty for type-rooted keys
+	obj      types.Object // non-nil for object-rooted keys
+	path     string       // field/index path, e.g. ".mu", ".wmu[]"
+}
+
+// keyFor derives the lockKey of a lock receiver expression, or ok=false
+// for shapes it cannot name (call results, map loads of interfaces, ...).
+func keyFor(pass *analysis.Pass, e ast.Expr) (lockKey, bool) {
+	path := ""
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			path = "." + x.Sel.Name + path
+			e = x.X
+		case *ast.IndexExpr:
+			path = "[]" + path
+			e = x.X
+		case *ast.Ident:
+			obj := pass.Info.Uses[x]
+			if obj == nil {
+				obj = pass.Info.Defs[x]
+			}
+			if obj == nil {
+				return lockKey{}, false
+			}
+			if path != "" {
+				t := obj.Type()
+				if p, isPtr := t.(*types.Pointer); isPtr {
+					t = p.Elem()
+				}
+				if named, isNamed := t.(*types.Named); isNamed {
+					return lockKey{typeName: named.Obj().Name(), path: path}, true
+				}
+			}
+			return lockKey{obj: obj, path: path}, true
+		default:
+			return lockKey{}, false
+		}
+	}
+}
+
+// collectGoroutineLocks inventories every lock acquired inside a `go
+// func(){...}()` body anywhere in the package.
+func collectGoroutineLocks(pass *analysis.Pass) map[lockKey]bool {
+	locked := make(map[lockKey]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, isGo := n.(*ast.GoStmt)
+			if !isGo {
+				return true
+			}
+			lit, isLit := g.Call.Fun.(*ast.FuncLit)
+			if !isLit {
+				return true
+			}
+			ast.Inspect(lit.Body, func(x ast.Node) bool {
+				call, isCall := x.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				recv, typeName, method, isSync := syncMethod(pass, call)
+				if !isSync || (typeName != "Mutex" && typeName != "RWMutex") {
+					return true
+				}
+				if method != "Lock" && method != "RLock" {
+					return true
+				}
+				if k, isKeyed := keyFor(pass, recv); isKeyed {
+					locked[k] = true
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return locked
+}
+
+// checkAddInGoroutine flags wg.Add calls inside a spawned goroutine when
+// the WaitGroup is captured from the enclosing scope: the spawner's Wait
+// can run before the goroutine is scheduled, see a zero counter, and
+// return while work is still in flight.
+func checkAddInGoroutine(pass *analysis.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(x ast.Node) bool {
+		if inner, isGo := x.(*ast.GoStmt); isGo {
+			// Nested spawns get their own visit from run's walk.
+			if _, isLit := inner.Call.Fun.(*ast.FuncLit); isLit {
+				return false
+			}
+		}
+		call, isCall := x.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		recv, typeName, method, isSync := syncMethod(pass, call)
+		if !isSync || typeName != "WaitGroup" || method != "Add" {
+			return true
+		}
+		k, isKeyed := keyFor(pass, recv)
+		if !isKeyed || k.obj == nil {
+			return true
+		}
+		// Captured from outside the literal: declared before it starts.
+		if k.obj.Pos() < lit.Pos() || k.obj.Pos() > lit.End() {
+			pass.Reportf(call.Pos(), "%s.Add inside the spawned goroutine races with Wait: the counter can still be zero when Wait runs; call Add before the go statement", types.ExprString(recv))
+		}
+		return true
+	})
+}
+
+// checkDoneAllPaths verifies that a goroutine body which signals a
+// WaitGroup reaches a Done — a statement or a defer — on every path to
+// exit. A defer at the top of the body sits in the entry block and
+// satisfies every path; a conditional defer or a Done after an early
+// return does not.
+func checkDoneAllPaths(pass *analysis.Pass, lit *ast.FuncLit) {
+	doneKeys := make(map[string]bool)
+	ast.Inspect(lit.Body, func(x ast.Node) bool {
+		if inner, isLit := x.(*ast.FuncLit); isLit && inner != lit {
+			return false
+		}
+		call, isCall := x.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		recv, typeName, method, isSync := syncMethod(pass, call)
+		if isSync && typeName == "WaitGroup" && method == "Done" {
+			doneKeys[types.ExprString(recv)] = true
+		}
+		return true
+	})
+	if len(doneKeys) == 0 {
+		return
+	}
+	g := cfg.New(lit.Body, pass.Info)
+	for key := range doneKeys {
+		if pathMissesDone(pass, g, key) {
+			pass.Reportf(lit.Pos(), "%s.Done is not reached on every path of this goroutine: an early return leaves the counter high and Wait blocks forever; defer %s.Done() at the top instead", key, key)
+		}
+	}
+}
+
+// pathMissesDone reports whether some path from entry to exit encounters
+// neither a `wg.Done()` statement nor a `defer wg.Done()` for the key.
+func pathMissesDone(pass *analysis.Pass, g *cfg.Graph, key string) bool {
+	seen := make(map[*cfg.Block]bool)
+	var dfs func(b *cfg.Block) bool
+	dfs = func(b *cfg.Block) bool {
+		if b == g.Exit {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, n := range b.Nodes {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			}
+			if call == nil {
+				continue
+			}
+			if recv, typeName, method, isSync := syncMethod(pass, call); isSync &&
+				typeName == "WaitGroup" && method == "Done" && types.ExprString(recv) == key {
+				return false // this path signals; stop exploring it
+			}
+		}
+		for _, s := range b.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(g.Entry)
+}
+
+// checkWaitUnderLock walks each lock's held region (same path simulation
+// as lockcheck) looking for wg.Wait calls while a lock that some worker
+// goroutine also takes is held.
+func checkWaitUnderLock(pass *analysis.Pass, body *ast.BlockStmt, goLocked map[lockKey]bool) {
+	g := cfg.New(body, pass.Info)
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			es, isExpr := n.(*ast.ExprStmt)
+			if !isExpr {
+				continue
+			}
+			call, isCall := es.X.(*ast.CallExpr)
+			if !isCall {
+				continue
+			}
+			recv, typeName, method, isSync := syncMethod(pass, call)
+			if !isSync || (typeName != "Mutex" && typeName != "RWMutex") ||
+				(method != "Lock" && method != "RLock") {
+				continue
+			}
+			k, isKeyed := keyFor(pass, recv)
+			if !isKeyed || !goLocked[k] {
+				continue
+			}
+			scanHeldRegion(pass, g, b, i+1, types.ExprString(recv), k)
+		}
+	}
+}
+
+// scanHeldRegion walks forward from an acquire whose lock is known to be
+// contended by worker goroutines, reporting any Wait reached before the
+// matching unlock.
+func scanHeldRegion(pass *analysis.Pass, g *cfg.Graph, b *cfg.Block, start int, exprKey string, k lockKey) {
+	type frame struct {
+		b     *cfg.Block
+		start int
+	}
+	visited := make(map[*cfg.Block]bool)
+	reported := make(map[*ast.CallExpr]bool)
+	stack := []frame{{b, start}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		released := false
+		for i := fr.start; i < len(fr.b.Nodes); i++ {
+			var call *ast.CallExpr
+			switch s := fr.b.Nodes[i].(type) {
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			}
+			if call == nil {
+				continue
+			}
+			recv, typeName, method, isSync := syncMethod(pass, call)
+			if !isSync {
+				continue
+			}
+			switch {
+			case (typeName == "Mutex" || typeName == "RWMutex") &&
+				(method == "Unlock" || method == "RUnlock") &&
+				types.ExprString(recv) == exprKey:
+				released = true
+			case typeName == "WaitGroup" && method == "Wait":
+				if !reported[call] {
+					reported[call] = true
+					pass.Reportf(call.Pos(), "%s.Wait while holding %s, which worker goroutines also lock: workers block on the lock, Done never runs, Wait never returns; release %s before waiting",
+						types.ExprString(recv), exprKey, exprKey)
+				}
+			}
+			if released {
+				break
+			}
+		}
+		if released {
+			continue
+		}
+		for _, s := range fr.b.Succs {
+			if s != g.Exit && !visited[s] {
+				visited[s] = true
+				stack = append(stack, frame{s, 0})
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package wgcheck_test
+
+import (
+	"testing"
+
+	"mgdiffnet/internal/analysis/analysistest"
+	"mgdiffnet/internal/analysis/passes/wgcheck"
+)
+
+func TestWgcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", wgcheck.Analyzer, "wgcheck")
+}

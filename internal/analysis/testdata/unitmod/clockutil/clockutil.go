@@ -1,0 +1,21 @@
+// Package clockutil is the dependency unit of the vet.cfg round-trip
+// test: its wall-clock facts must reach dependent units through a vetx
+// file, exactly as the go command threads them.
+package clockutil
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter reaches time.Now two calls deep; the exported fact carries the
+// chain so a caller in another unit can name it.
+func Jitter() int64 {
+	return stamp() % 1000
+}
+
+// Steps is clock-free: no fact, callers stay clean.
+func Steps(n int) int64 {
+	return int64(n) * 17
+}

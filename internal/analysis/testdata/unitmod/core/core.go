@@ -1,0 +1,17 @@
+// Package core is the dependent unit: "core" is a critical package for
+// detrand, so a call into clockutil's fact-carrying Jitter must be
+// reported at this boundary — but only when the dependency's vetx facts
+// were decoded.
+package core
+
+import "unitmod/clockutil"
+
+// Offset feeds the solver schedule and must be deterministic.
+func Offset() int64 {
+	return clockutil.Jitter()
+}
+
+// Budget is clean: Steps carries no fact.
+func Budget(n int) int64 {
+	return clockutil.Steps(n)
+}

@@ -1,0 +1,3 @@
+module unitmod
+
+go 1.24

@@ -12,6 +12,13 @@ import (
 // same protocol it uses for the bundled vet — a -flags probe, a -V=full
 // identity probe, then one JSON config file per build unit. This file
 // implements the config half; cmd/mglint implements the probes.
+//
+// Facts make the protocol two-way: each unit decodes the vetx files of
+// its dependencies (cfg.PackageVetx), runs the analyzers against that
+// store, and gob-encodes its own objects' facts to cfg.VetxOutput. The go
+// command schedules units in dependency order and threads the files, so a
+// helper two packages down the import graph is seen exactly as in the
+// standalone driver.
 
 // VetConfig mirrors the vet.cfg JSON written by the go command (see
 // cmd/go/internal/work: vetConfig). Only the fields mglint consumes are
@@ -25,14 +32,18 @@ type VetConfig struct {
 	ModulePath  string
 	ImportMap   map[string]string
 	PackageFile map[string]string
-	VetxOnly    bool
-	VetxOutput  string
+	PackageVetx map[string]string // dependency import path -> vetx facts file
+	VetxOnly    bool              // unit is needed only for its facts, not diagnostics
+	VetxOutput  string            // where to write this unit's facts
 }
 
 // LoadUnit reads a vet.cfg and returns the type-checked unit, or
-// (nil, nil) when the unit is outside the module (go vet visits every
-// dependency for fact propagation; mglint has no cross-package facts, so
-// non-module units are acknowledged and skipped).
+// (nil, cfg) when the unit is outside the module (go vet visits every
+// dependency for fact propagation; mglint only exports facts for module
+// packages — the base occurrences its analyzers detect all live in module
+// code — so non-module units are acknowledged and skipped). In-module
+// VetxOnly units are loaded: they must run for their facts even though
+// their diagnostics are discarded.
 func LoadUnit(cfgPath string) (*Package, *VetConfig, error) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -42,8 +53,9 @@ func LoadUnit(cfgPath string) (*Package, *VetConfig, error) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return nil, nil, fmt.Errorf("mglint: parsing vet config %s: %v", cfgPath, err)
 	}
-	if cfg.VetxOnly || cfg.ModulePath == "" ||
-		(cfg.ImportPath != cfg.ModulePath && !strings.HasPrefix(cfg.ImportPath, cfg.ModulePath+"/")) {
+	plain := plainPath(cfg.ImportPath)
+	if cfg.ModulePath == "" ||
+		(plain != cfg.ModulePath && !strings.HasPrefix(plain, cfg.ModulePath+"/")) {
 		return nil, &cfg, nil
 	}
 	fset := token.NewFileSet()
@@ -51,18 +63,60 @@ func LoadUnit(cfgPath string) (*Package, *VetConfig, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	tpkg, info, err := typecheck(fset, cfg.ImportPath, files, exportImporter(fset, cfg.ImportMap, cfg.PackageFile))
+	// Type-check under the plain path: facts are keyed by the package path
+	// objects carry through export data, which never has the " [p.test]"
+	// suffix.
+	tpkg, info, err := typecheck(fset, plain, files, exportImporter(fset, cfg.ImportMap, cfg.PackageFile))
 	if err != nil {
 		return nil, nil, fmt.Errorf("mglint: type-checking %s: %v", cfg.ImportPath, err)
 	}
-	return &Package{Path: cfg.ImportPath, Dir: cfg.Dir, Fset: fset, Files: files, Types: tpkg, Info: info}, &cfg, nil
+	pkg := &Package{Path: cfg.ImportPath, Dir: cfg.Dir, Fset: fset, Files: files, Types: tpkg, Info: info, FactsOnly: cfg.VetxOnly}
+	return pkg, &cfg, nil
 }
 
-// WriteVetx writes the (empty) facts file the go command expects a
-// vettool to leave behind; its absence would defeat vet result caching.
-func (cfg *VetConfig) WriteVetx() error {
-	if cfg.VetxOutput == "" {
-		return nil
+// RunUnit executes the analyzers over one vet build unit: load the unit,
+// decode its dependencies' facts, run, and write the unit's own facts to
+// cfg.VetxOutput. It returns the unit's unsuppressed-and-suppressed
+// diagnostics (nil for out-of-module or VetxOnly units) plus the loaded
+// package for position resolution.
+func RunUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, *Package, error) {
+	pkg, cfg, err := LoadUnit(cfgPath)
+	if err != nil {
+		return nil, nil, err
 	}
-	return os.WriteFile(cfg.VetxOutput, nil, 0o666)
+	RegisterFactTypes(analyzers)
+	store := NewFactStore()
+	var diags []Diagnostic
+	if pkg != nil {
+		for _, vetx := range cfg.PackageVetx {
+			data, err := os.ReadFile(vetx)
+			if err != nil {
+				return nil, nil, fmt.Errorf("mglint: reading dependency facts: %v", err)
+			}
+			if err := store.DecodeVetx(data); err != nil {
+				return nil, nil, err
+			}
+		}
+		diags, err = runPackage(pkg, analyzers, store)
+		if err != nil {
+			return nil, nil, err
+		}
+		if cfg.VetxOnly {
+			diags = nil
+		}
+	}
+	if cfg.VetxOutput != "" {
+		var payload []byte
+		if pkg != nil {
+			if payload, err = store.EncodeVetx(plainPath(cfg.ImportPath)); err != nil {
+				return nil, nil, err
+			}
+		}
+		// The file must exist even when empty (out-of-module units,
+		// fact-free packages); its absence would defeat vet result caching.
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
+			return nil, nil, fmt.Errorf("mglint: writing facts file: %v", err)
+		}
+	}
+	return diags, pkg, nil
 }

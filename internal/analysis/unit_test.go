@@ -1,0 +1,145 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mgdiffnet/internal/analysis"
+	"mgdiffnet/internal/analysis/all"
+)
+
+// unitEntry is the slice of `go list -json` output the round-trip test
+// needs to synthesize vet.cfg files the way cmd/go does.
+type unitEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+}
+
+// TestUnitFactsRoundTrip drives RunUnit through the vet.cfg protocol by
+// hand: the dependency unit (clockutil) runs first and writes its facts
+// to a vetx file, then the dependent unit (core) decodes that file via
+// PackageVetx and must report the cross-unit wall-clock reach. A control
+// run of the same dependent unit without PackageVetx stays silent,
+// proving the diagnostic comes from the decoded facts and nothing else.
+func TestUnitFactsRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	mod, err := filepath.Abs(filepath.Join("testdata", "unitmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command("go", "list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,ImportMap", "./...")
+	cmd.Dir = mod
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	entries := make(map[string]unitEntry)
+	dec := json.NewDecoder(&stdout)
+	for {
+		var e unitEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("decoding go list output: %v", err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		entries[e.ImportPath] = e
+	}
+
+	tmp := t.TempDir()
+	writeCfg := func(name, importPath string, vetx map[string]string, vetxOnly bool, vetxOut string) string {
+		e, ok := entries[importPath]
+		if !ok {
+			t.Fatalf("go list did not return %s", importPath)
+		}
+		var files []string
+		for _, f := range e.GoFiles {
+			files = append(files, filepath.Join(e.Dir, f))
+		}
+		cfg := analysis.VetConfig{
+			ID:          importPath,
+			Compiler:    "gc",
+			Dir:         e.Dir,
+			ImportPath:  importPath,
+			GoFiles:     files,
+			ModulePath:  "unitmod",
+			ImportMap:   e.ImportMap,
+			PackageFile: exports,
+			PackageVetx: vetx,
+			VetxOnly:    vetxOnly,
+			VetxOutput:  vetxOut,
+		}
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(tmp, name)
+		if err := os.WriteFile(path, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	clockVetx := filepath.Join(tmp, "clockutil.vetx")
+	depCfg := writeCfg("clockutil.cfg", "unitmod/clockutil", nil, true, clockVetx)
+	diags, _, err := analysis.RunUnit(depCfg, all.Analyzers())
+	if err != nil {
+		t.Fatalf("dependency unit: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("VetxOnly unit returned diagnostics: %v", diags)
+	}
+	if data, err := os.ReadFile(clockVetx); err != nil || len(data) == 0 {
+		t.Fatalf("dependency unit wrote no facts (err=%v, %d bytes)", err, len(data))
+	}
+
+	withFacts := writeCfg("core.cfg", "unitmod/core",
+		map[string]string{"unitmod/clockutil": clockVetx}, false, filepath.Join(tmp, "core.vetx"))
+	diags, pkg, err := analysis.RunUnit(withFacts, all.Analyzers())
+	if err != nil {
+		t.Fatalf("dependent unit: %v", err)
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "reaches time.Now") && strings.Contains(d.Message, "Jitter") {
+			found = true
+		}
+	}
+	if !found {
+		var msgs []string
+		for _, d := range diags {
+			msgs = append(msgs, pkg.Fset.Position(d.Pos).String()+": "+d.Message)
+		}
+		t.Fatalf("dependent unit missed the cross-unit clock reach; got:\n%s", strings.Join(msgs, "\n"))
+	}
+
+	control := writeCfg("core-nofacts.cfg", "unitmod/core", nil, false, filepath.Join(tmp, "core2.vetx"))
+	diags, _, err = analysis.RunUnit(control, all.Analyzers())
+	if err != nil {
+		t.Fatalf("control unit: %v", err)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "reaches time.Now") {
+			t.Fatalf("control run without PackageVetx still reported the clock reach: %s", d.Message)
+		}
+	}
+}

@@ -50,6 +50,7 @@ type SpatialInference struct {
 	mu   sync.Mutex       // one pass at a time; guards the scratch below
 	ext  []*tensor.Tensor // per-worker extended-slab input scratch
 	hbuf []*tensor.Tensor // per-worker halo exchange scratch
+	exts [][]int          // per-worker extended-slab shape scratch, grown once
 
 	shapeBuf []int   // output-shape scratch, grown once
 	haloBuf  []int   // halo-shape scratch, grown once
@@ -88,6 +89,7 @@ func NewSpatialInference(net *unet.UNet, workers, halo int) (*SpatialInference, 
 	}
 	si.ext = make([]*tensor.Tensor, workers)
 	si.hbuf = make([]*tensor.Tensor, workers)
+	si.exts = make([][]int, workers)
 	if workers > 1 {
 		si.trs = NewChannelRing(workers)
 	}
@@ -194,6 +196,7 @@ func (s *SpatialInference) ForwardInto(dst, x *tensor.Tensor) (*tensor.Tensor, e
 
 	out := dst
 	if out == nil || !out.ShapeIs(outShape...) {
+		//mglint:ignore hotalloc allocates only when the caller passes no reusable dst; callers that hold the returned tensor pay this once, which is the documented ForwardInto contract
 		out = tensor.New(outShape...)
 	}
 	tailDims := x.Shape()[3:]
@@ -249,7 +252,11 @@ func (s *SpatialInference) forwardSlab(w int, x, out *tensor.Tensor, slab int, h
 		hi2 = hi + s.halo
 	}
 
-	extShape := append([]int(nil), x.Shape()...)
+	if cap(s.exts[w]) < x.Rank() {
+		s.exts[w] = make([]int, x.Rank())
+	}
+	extShape := s.exts[w][:x.Rank()]
+	copy(extShape, x.Shape())
 	extShape[2] = hi2 - lo2
 	ext := scratchFor(s.ext, w, extShape)
 	copyRows(ext, x, lo-lo2, lo, slab) // the rows this worker owns

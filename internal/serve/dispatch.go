@@ -114,6 +114,7 @@ func (e *Engine) runBatch(rep *replica, res int, fs []*flight) {
 	per := e.voxels(res)
 	shape := e.inputShape(n, res)
 	if rep.in == nil || !rep.in.ShapeIs(shape...) {
+		//mglint:ignore hotalloc the replica's batch tensor is allocated once per (batch size, resolution) and reused across every later batch of that shape
 		rep.in = tensor.New(shape...)
 	}
 	for i, f := range fs {
