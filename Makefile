@@ -1,8 +1,8 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr9.json
 MGLINT := bin/mglint
 
-.PHONY: all build vet test race bench ci clean tcp-smoke mglint lint
+.PHONY: all build vet test race bench ci clean tcp-smoke serve-smoke mglint lint
 
 all: build
 
@@ -44,15 +44,23 @@ ci: lint test
 tcp-smoke:
 	./scripts/tcp_smoke.sh
 
+# Overload smoke: a tiny-capacity mgserve is flooded past its admission
+# queue and a per-client quota; every refusal must be typed (429/503 +
+# Retry-After, never a 500) and SIGTERM must shut down cleanly.
+serve-smoke:
+	./scripts/serve_overload_smoke.sh
+
 # Run the strong-scaling benchmarks (Figure 9: allreduce ablation +
 # data-parallel epoch sweep), the bucketed comm/compute-overlap ablation,
 # the 2D/3D direct-vs-GEMM lowering ablations, the distributed Half-V
 # stage (multigrid schedule through the data-parallel backend), and the
 # serving-throughput acceptance bench (batched engine vs sequential
-# per-request forwards), and save them as JSON to extend the perf
-# trajectory; the raw `go test -bench` text is kept alongside.
+# per-request forwards), and the serving-overload bench (goodput/p99
+# with the shedding queue bounded vs unbounded at 2× capacity), and
+# save them as JSON to extend the perf trajectory; the raw
+# `go test -bench` text is kept alongside.
 bench:
-	$(GO) test -run '^$$' -bench 'Figure9|BucketedAllreduceOverlap|AblationConv|DistHalfVStage|ServeThroughput' -benchmem -timeout 30m . | tee BENCH_raw.txt
+	$(GO) test -run '^$$' -bench 'Figure9|BucketedAllreduceOverlap|AblationConv|DistHalfVStage|ServeThroughput|ServeOverload' -benchmem -timeout 30m . | tee BENCH_raw.txt
 	awk 'BEGIN { print "[" } \
 	  /^Benchmark/ { \
 	    if (n++) printf(",\n"); \

@@ -12,6 +12,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -256,7 +257,7 @@ func runBatch(net *unet.UNet, path string, res int, compare bool, stdout, stderr
 	}
 	defer eng.Close()
 
-	results, err := eng.SolveBatch(ws, res)
+	results, err := eng.SolveBatch(context.Background(), ws, res)
 	if err != nil {
 		fmt.Fprintln(stderr, "mginfer:", err)
 		return 1

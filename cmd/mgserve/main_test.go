@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -13,19 +16,32 @@ import (
 	"mgdiffnet/internal/unet"
 )
 
-func testHandler(t *testing.T) http.Handler {
+func testEngine(t *testing.T, cfg serve.Config) *serve.Engine {
 	t.Helper()
-	cfg := unet.DefaultConfig(2)
-	cfg.Depth = 2
-	cfg.BaseFilters = 4
-	eng, err := serve.NewEngine(serve.Config{
-		Net: unet.New(cfg), Replicas: 2, MaxBatch: 4, BatchWindow: time.Millisecond,
-	})
+	ucfg := unet.DefaultConfig(2)
+	ucfg.Depth = 2
+	ucfg.BaseFilters = 4
+	cfg.Net = unet.New(ucfg)
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 4
+	}
+	if cfg.BatchWindow == 0 {
+		cfg.BatchWindow = time.Millisecond
+	}
+	eng, err := serve.NewEngine(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(eng.Close)
-	return newHandler(eng)
+	return eng
+}
+
+func testHandler(t *testing.T) http.Handler {
+	t.Helper()
+	return newHandler(testEngine(t, serve.Config{}), handlerOptions{})
 }
 
 func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
@@ -149,4 +165,215 @@ func TestParseResList(t *testing.T) {
 	if got, err := parseResList(""); err != nil || got != nil {
 		t.Fatalf("empty list: %v, %v", got, err)
 	}
+}
+
+// TestQuotaRejected429 pins the per-client quota surface: over-quota
+// requests answer 429 with a Retry-After header and a JSON error, and
+// the /stats counter records them.
+func TestQuotaRejected429(t *testing.T) {
+	eng := testEngine(t, serve.Config{})
+	h := newHandler(eng, handlerOptions{
+		quota:       serve.NewQuotaLimiter(serve.QuotaConfig{RPS: 0.1, Burst: 1}),
+		quotaHeader: "X-API-Key",
+	})
+	body := `{"omega":[0.3,1.5,0.1,-1.2],"res":8,"summary":true}`
+	mk := func(key string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/solve", bytes.NewBufferString(body))
+		req.Header.Set("X-API-Key", key)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	if rec := mk("alice"); rec.Code != http.StatusOK {
+		t.Fatalf("first request: %d %s", rec.Code, rec.Body.String())
+	}
+	rec := mk("alice") // burst 1, refill 0.1 rps: immediately over quota
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota request: %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if !strings.Contains(rec.Body.String(), "quota") {
+		t.Fatalf("429 body: %s", rec.Body.String())
+	}
+	// A different client key is unaffected.
+	if rec := mk("bob"); rec.Code != http.StatusOK {
+		t.Fatalf("independent client: %d", rec.Code)
+	}
+	// /stats surfaces the rejection counter.
+	req := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	srec := httptest.NewRecorder()
+	h.ServeHTTP(srec, req)
+	if !strings.Contains(srec.Body.String(), `"quota_rejected":1`) {
+		t.Fatalf("stats: %s", srec.Body.String())
+	}
+}
+
+// TestOverload503 pins the shedding surface: work refused by the
+// engine's admission queue answers 503 + Retry-After — never a 500.
+func TestOverload503(t *testing.T) {
+	eng := testEngine(t, serve.Config{
+		Replicas: 1, MaxBatch: 1, MaxQueue: 1, CacheSize: -1,
+		Faults: &serve.Faults{Seed: 1, SlowReplicaProb: 1, ReplicaDelay: 30 * time.Millisecond},
+	})
+	h := newHandler(eng, handlerOptions{})
+	const n = 20
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"omega":[0.%d,1.5,0.1,-1.2],"res":8,"summary":true}`, i)
+			rec := post(t, h, "/solve", body)
+			codes[i] = rec.Code
+			if rec.Code == http.StatusServiceUnavailable && rec.Header().Get("Retry-After") == "" {
+				t.Error("503 without Retry-After")
+			}
+		}(i)
+	}
+	wg.Wait()
+	ok, shed := 0, 0
+	for _, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			shed++
+		default:
+			t.Fatalf("unexpected status %d under overload (want only 200/503)", c)
+		}
+	}
+	if ok == 0 || shed == 0 {
+		t.Fatalf("flood produced %d OK / %d shed; want both nonzero", ok, shed)
+	}
+}
+
+// TestRequestTimeout504 pins the -request-timeout budget: a solve that
+// cannot finish inside it answers 504.
+func TestRequestTimeout504(t *testing.T) {
+	eng := testEngine(t, serve.Config{
+		Replicas: 1, MaxBatch: 1, CacheSize: -1,
+		Faults: &serve.Faults{Seed: 2, SlowReplicaProb: 1, ReplicaDelay: 200 * time.Millisecond},
+	})
+	h := newHandler(eng, handlerOptions{requestTimeout: 20 * time.Millisecond})
+	rec := post(t, h, "/solve", `{"omega":[0.3,1.5,0.1,-1.2],"res":8}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestClientDisconnectWritesNothing pins the canceled-client path: the
+// handler returns without attempting a response body (and without
+// surfacing a 500).
+func TestClientDisconnectWritesNothing(t *testing.T) {
+	eng := testEngine(t, serve.Config{
+		Replicas: 1, MaxBatch: 1, CacheSize: -1,
+		Faults: &serve.Faults{Seed: 3, SlowReplicaProb: 1, ReplicaDelay: 100 * time.Millisecond},
+	})
+	h := newHandler(eng, handlerOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/solve",
+		bytes.NewBufferString(`{"omega":[0.3,1.5,0.1,-1.2],"res":8}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		h.ServeHTTP(rec, req)
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the solve start
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler did not return after client disconnect")
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("disconnected client received a body: %s", rec.Body.String())
+	}
+}
+
+// TestReadyz pins readiness vs liveness: a degraded engine stays live
+// on /healthz but reports 503 on /readyz so the load balancer drains it.
+func TestReadyz(t *testing.T) {
+	h := testHandler(t)
+	req := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ready":true`) {
+		t.Fatalf("healthy readyz: %d %s", rec.Code, rec.Body.String())
+	}
+
+	degraded := newHandler(testEngine(t, serve.Config{Faults: &serve.Faults{ForceDegraded: true}}), handlerOptions{})
+	rec = httptest.NewRecorder()
+	degraded.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), `"ready":false`) {
+		t.Fatalf("degraded readyz: %d %s", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	degraded.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("degraded healthz (liveness) must stay 200, got %d", rec.Code)
+	}
+}
+
+// TestAllowDegradedEndToEnd pins the HTTP opt-in: "allow_degraded":true
+// gets a coarser answer flagged degraded, the plain request is shed 503.
+func TestAllowDegradedEndToEnd(t *testing.T) {
+	eng := testEngine(t, serve.Config{Faults: &serve.Faults{ForceDegraded: true}})
+	h := newHandler(eng, handlerOptions{})
+	rec := post(t, h, "/solve", `{"omega":[0.3,1.5,0.1,-1.2],"res":16,"summary":true}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded cold miss: %d, want 503", rec.Code)
+	}
+	rec = post(t, h, "/solve", `{"omega":[0.3,1.5,0.1,-1.2],"res":16,"summary":true,"allow_degraded":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("allow_degraded request: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp solveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded || resp.Res != 8 {
+		t.Fatalf("degraded=%v res=%d, want true/8", resp.Degraded, resp.Res)
+	}
+}
+
+// TestEncodeFailureLoggedOnce pins the writeJSON contract: an encode
+// failure is logged once per connection and counted in /stats.
+func TestEncodeFailureLoggedOnce(t *testing.T) {
+	eng := testEngine(t, serve.Config{})
+	var mu sync.Mutex
+	var logged []string
+	h := newHandler(eng, handlerOptions{logf: func(format string, args ...any) {
+		mu.Lock()
+		logged = append(logged, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}})
+	body := `{"omega":[0.3,1.5,0.1,-1.2],"res":8}`
+	for i := 0; i < 3; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/solve", bytes.NewBufferString(body))
+		req.RemoteAddr = "10.0.0.1:55555" // same connection every time
+		h.ServeHTTP(failingWriter{httptest.NewRecorder()}, req)
+	}
+	mu.Lock()
+	n := len(logged)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("encode failure logged %d times for one connection, want 1 (%v)", n, logged)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if !strings.Contains(rec.Body.String(), `"encode_failures":3`) {
+		t.Fatalf("stats: %s", rec.Body.String())
+	}
+}
+
+// failingWriter fails every body write, simulating a client that hung up
+// between the handler's header and body writes.
+type failingWriter struct{ *httptest.ResponseRecorder }
+
+func (failingWriter) Write([]byte) (int, error) {
+	return 0, fmt.Errorf("connection reset by peer")
 }

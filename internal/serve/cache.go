@@ -5,7 +5,11 @@ import "container/list"
 // flight is one in-progress computation of a key, shared by every caller
 // that asked for the same key while it ran (single-flight dedup). The
 // computing side fills u/err/batch/slab and closes done; waiters read
-// only after done is closed, so no lock is needed on the fields.
+// only after done is closed, so no lock is needed on the result fields.
+// The lifecycle fields (waiters, abandoned, settled, completed) are
+// guarded by Engine.mu: a waiter whose context is canceled detaches by
+// decrementing waiters, and the last detaching waiter abandons the
+// flight, which the dispatcher then drops before its forward runs.
 type flight struct {
 	key   Key
 	done  chan struct{}
@@ -13,6 +17,11 @@ type flight struct {
 	err   error
 	batch int
 	slab  bool
+
+	waiters   int  // Solve calls attached to this flight
+	abandoned bool // all waiters detached before the forward ran
+	settled   bool // admission-queue slot released (exactly once)
+	completed bool // finish ran: the result fields are set
 }
 
 // result converts the completed flight into a caller-owned Result.

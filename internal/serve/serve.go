@@ -16,15 +16,30 @@
 //     slab-parallel dist.SpatialInference path instead of the batcher, so
 //     a megavoxel query neither stalls the batch pipeline nor pays for it.
 //
-// Every response is bit-identical to a fresh monolithic
+// The engine is also overload-safe: every Solve carries a
+// context.Context, so disconnected clients detach from their flight
+// without poisoning single-flight sharers; an explicitly bounded
+// admission queue sheds excess work with a typed ErrOverloaded (queue
+// full, or EWMA-estimated wait past the request's deadline) instead of
+// melting; and under sustained saturation the engine degrades gracefully
+// — cache hits still answer, cold misses shed, and opt-in requests accept
+// a coarser-resolution answer flagged Degraded. A failure-counting
+// breaker reroutes the slab path onto the batched path instead of
+// erroring.
+//
+// Every non-degraded response is bit-identical to a fresh monolithic
 // net.Forward + boundary imposition on the same input: batching never
 // changes per-sample values (convolutions, batch-norm inference statistics
 // and pointwise activations are sample-independent, and the 3D GEMM
 // lowering selects its kernel from per-sample volume), and the slab path
 // reproduces the monolithic pass by receptive-field-covering halos.
+// Admission control cannot change values either — it only decides whether
+// a forward runs, never how.
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -59,6 +74,20 @@ type Config struct {
 	// drain, no added latency). Default 2ms.
 	BatchWindow time.Duration
 
+	// MaxQueue bounds the admission queue: the number of distinct
+	// in-flight computations (queued, batching, or forwarding) the engine
+	// accepts before shedding new work with ErrOverloaded. Cache hits and
+	// single-flight joins are always admitted — they consume no forward.
+	// Zero or negative means the default 8·MaxBatch·Replicas.
+	MaxQueue int
+
+	// DegradedEnter and DegradedExit are the saturation-score hysteresis
+	// thresholds for degraded mode (score = EWMA of queue occupancy in
+	// [0,1]). Zero means the defaults (0.75 / 0.25); DegradedEnter > 1
+	// effectively disables degraded mode.
+	DegradedEnter float64
+	DegradedExit  float64
+
 	// CacheSize is the LRU result-cache capacity in entries. 0 means the
 	// default (256); negative disables caching.
 	CacheSize int
@@ -81,6 +110,11 @@ type Config struct {
 	// forward pass per listed resolution, so first requests do not pay
 	// cold-allocation or lazy FEM-problem construction costs.
 	WarmRes []int
+
+	// Faults enables deterministic fault injection (slow replicas, stuck
+	// slab workers, forced degraded mode) for chaos tests and overload
+	// benchmarks. Nil in production.
+	Faults *Faults
 }
 
 // Key identifies a query: the diffusivity parameter vector and the grid
@@ -91,12 +125,24 @@ type Key struct {
 	Res   int
 }
 
+// Query is one request to SolveQuery: a Key plus per-request options.
+type Query struct {
+	Omega field.Omega
+	Res   int
+	// AllowDegraded opts in to a coarser-resolution answer (flagged
+	// Result.Degraded) when the engine is in degraded mode, instead of
+	// being shed with ErrOverloaded.
+	AllowDegraded bool
+}
+
 // Result is one answered query.
 type Result struct {
 	// U is the BC-imposed solution field, res^dim values in row-major
 	// order. It is a private copy; callers may mutate it freely.
 	U []float64
-	// Res and Dim describe the field layout.
+	// Res and Dim describe the field layout. Res is the resolution the
+	// answer was actually computed at — coarser than requested when
+	// Degraded is set.
 	Res, Dim int
 	// Cached reports an LRU hit (no forward pass ran for this call).
 	Cached bool
@@ -108,9 +154,12 @@ type Result struct {
 	Batch int
 	// Slab reports that the slab-parallel spatial-inference path answered.
 	Slab bool
+	// Degraded reports a degraded-mode answer at a coarser resolution
+	// than requested (only possible with Query.AllowDegraded).
+	Degraded bool
 }
 
-// Stats is a snapshot of the engine's counters.
+// Stats is a snapshot of the engine's counters and gauges.
 type Stats struct {
 	Requests        uint64  `json:"requests"`
 	CacheHits       uint64  `json:"cache_hits"`
@@ -122,6 +171,21 @@ type Stats struct {
 	Replicas        int     `json:"replicas"`
 	MaxBatch        int     `json:"max_batch"`
 	BatchWindowMS   float64 `json:"batch_window_ms"`
+
+	// Overload and robustness counters.
+	Shed             uint64 `json:"shed"`              // admissions refused (queue full, deadline, degraded)
+	DeadlineSheds    uint64 `json:"deadline_sheds"`    // subset of Shed: estimated wait exceeded the deadline
+	Canceled         uint64 `json:"canceled"`          // waiters that detached on context cancellation
+	DeadlineExceeded uint64 `json:"deadline_exceeded"` // waiters that detached on context deadline
+	DegradedServed   uint64 `json:"degraded_served"`   // coarse answers served in degraded mode
+	DroppedFlights   uint64 `json:"dropped_flights"`   // all-waiters-gone flights dropped before their forward
+	SlabFallbacks    uint64 `json:"slab_fallbacks"`    // slab failures rerouted to the batched path
+
+	// Gauges.
+	QueueDepth   int  `json:"queue_depth"`   // in-flight computations right now
+	MaxQueue     int  `json:"max_queue"`     // admission bound
+	DegradedMode bool `json:"degraded_mode"` // currently shedding cold misses
+	BreakerOpen  bool `json:"breaker_open"`  // slab path currently rerouted
 }
 
 // replica is one pool slot: a privately owned network clone with recycled
@@ -145,10 +209,16 @@ type Engine struct {
 	slabMu   sync.Mutex // guards the slab path's input/output scratch
 	slabIn   *tensor.Tensor
 	slabOut  *tensor.Tensor
+	faults   *faultState
 
-	mu       sync.Mutex // guards cache and inflight
+	mu       sync.Mutex // guards cache, inflight, admission and degradation state
 	cache    *lruCache
 	inflight map[Key]*flight
+	pending  int           // admitted, not yet finished or abandoned flights
+	lat      map[int]*ewma // per-resolution batch-latency EWMA
+	satScore float64       // EWMA of queue occupancy, drives degraded mode
+	degraded bool
+	slabBrk  breaker
 
 	closeMu sync.RWMutex // held (read) for the duration of every Solve
 	closed  bool
@@ -158,6 +228,13 @@ type Engine struct {
 	stats struct {
 		sync.Mutex
 		requests, cacheHits, shared, forwards, batched, slabbed uint64
+		canceled, deadlineExceeded, degradedServed              uint64
+		dropped, slabFallbacks                                  uint64
+	}
+	// shed counters live under e.mu (they are bumped inside the admission
+	// decision, which already holds it).
+	shedStats struct {
+		shed, deadlineSheds uint64
 	}
 }
 
@@ -179,6 +256,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.BatchWindow == 0 {
 		cfg.BatchWindow = 2 * time.Millisecond
 	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 8 * cfg.MaxBatch * cfg.Replicas
+	}
+	if cfg.DegradedEnter == 0 {
+		cfg.DegradedEnter = defaultEnter
+	}
+	if cfg.DegradedExit == 0 {
+		cfg.DegradedExit = defaultExit
+	}
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 256
 	}
@@ -192,14 +278,22 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cfg.SlabWorkers = 2
 	}
 	e := &Engine{
-		cfg:      cfg,
-		dim:      cfg.Net.Cfg.Dim,
-		meta:     cfg.Net,
-		loss:     fem.NewEnergyLoss(cfg.Net.Cfg.Dim),
-		queue:    make(chan *flight, 4*cfg.MaxBatch),
+		cfg:  cfg,
+		dim:  cfg.Net.Cfg.Dim,
+		meta: cfg.Net,
+		loss: fem.NewEnergyLoss(cfg.Net.Cfg.Dim),
+		// The channel capacity matches the admission bound, so an
+		// admitted flight's enqueue never blocks: pending <= MaxQueue and
+		// every pending flight occupies at most one queue slot.
+		queue:    make(chan *flight, cfg.MaxQueue),
 		replicas: make(chan *replica, cfg.Replicas),
 		inflight: map[Key]*flight{},
+		lat:      map[int]*ewma{},
 		quit:     make(chan struct{}),
+	}
+	e.slabBrk = breaker{threshold: breakerThreshold, cooldown: breakerCooldown}
+	if cfg.Faults != nil {
+		e.faults = newFaultState(*cfg.Faults)
 	}
 	if cfg.CacheSize > 0 {
 		e.cache = newLRUCache(cfg.CacheSize, int64(cfg.CacheMB)<<20)
@@ -281,12 +375,20 @@ func (e *Engine) Dim() int { return e.dim }
 // ValidateRes reports whether res is a feasible query resolution.
 func (e *Engine) ValidateRes(res int) error { return e.meta.ValidateRes(res) }
 
-// Solve answers one query, blocking until the result is available. The
-// call either hits the cache, joins an identical in-flight query, rides a
-// coalesced batch through a pooled replica, or — for fields of at least
-// SlabVoxels voxels — runs the slab-parallel spatial-inference path.
-func (e *Engine) Solve(w field.Omega, res int) (Result, error) {
-	if err := e.meta.ValidateRes(res); err != nil {
+// Solve answers one query, blocking until the result is available or ctx
+// is done. The call either hits the cache, joins an identical in-flight
+// query, rides a coalesced batch through a pooled replica, or — for
+// fields of at least SlabVoxels voxels — runs the slab-parallel
+// spatial-inference path. A canceled ctx detaches this caller from its
+// flight: single-flight sharers are unaffected, and a flight all of whose
+// waiters have gone is dropped before its forward runs.
+func (e *Engine) Solve(ctx context.Context, w field.Omega, res int) (Result, error) {
+	return e.SolveQuery(ctx, Query{Omega: w, Res: res})
+}
+
+// SolveQuery is Solve with per-request options.
+func (e *Engine) SolveQuery(ctx context.Context, q Query) (Result, error) {
+	if err := e.meta.ValidateRes(q.Res); err != nil {
 		return Result{}, err
 	}
 	e.closeMu.RLock()
@@ -294,42 +396,181 @@ func (e *Engine) Solve(w field.Omega, res int) (Result, error) {
 	if e.closed {
 		return Result{}, fmt.Errorf("serve: engine is closed")
 	}
+	if err := ctx.Err(); err != nil {
+		e.countCtxErr(err)
+		return Result{}, fmt.Errorf("serve: %w", err)
+	}
 	e.stats.Lock()
 	e.stats.requests++
 	e.stats.Unlock()
 
-	key := Key{Omega: w, Res: res}
+	key := Key{Omega: q.Omega, Res: q.Res}
+	degradedReq := false
+
 	e.mu.Lock()
-	if e.cache != nil {
-		if u, ok := e.cache.get(key); ok {
-			e.mu.Unlock()
-			e.stats.Lock()
-			e.stats.cacheHits++
-			e.stats.Unlock()
-			return Result{U: cloneField(u), Res: res, Dim: e.dim, Cached: true}, nil
-		}
+	if r, ok := e.lookupLocked(key); ok {
+		e.mu.Unlock()
+		return r, nil
 	}
 	if f, ok := e.inflight[key]; ok {
+		f.waiters++
 		e.mu.Unlock()
-		<-f.done
-		e.stats.Lock()
-		e.stats.shared++
-		e.stats.Unlock()
-		r, err := f.result(e.dim)
-		r.Shared = true
-		return r, err
+		return e.await(ctx, f, true, false)
 	}
-	f := &flight{key: key, done: make(chan struct{})}
+
+	// New work. Update the load signal, apply degraded-mode policy, then
+	// the admission decision.
+	now := time.Now()
+	e.observeLoadLocked()
+	if e.degradedLocked() {
+		dres := 0
+		if q.AllowDegraded {
+			dres = e.coarserRes(q.Res)
+		}
+		if dres == 0 {
+			e.shedStats.shed++
+			est := e.estimatedWaitLocked(q.Res)
+			e.mu.Unlock()
+			return Result{}, &OverloadError{Reason: "degraded", RetryAfter: retryAfterHint(est)}
+		}
+		degradedReq = true
+		key = Key{Omega: q.Omega, Res: dres}
+		// The coarse key gets the same cache/single-flight treatment.
+		if r, ok := e.lookupLocked(key); ok {
+			e.mu.Unlock()
+			r.Degraded = true
+			e.stats.Lock()
+			e.stats.degradedServed++
+			e.stats.Unlock()
+			return r, nil
+		}
+		if f, ok := e.inflight[key]; ok {
+			f.waiters++
+			e.mu.Unlock()
+			return e.await(ctx, f, true, true)
+		}
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	if err := e.admitLocked(deadline, hasDeadline, key.Res, now); err != nil {
+		e.mu.Unlock()
+		return Result{}, err
+	}
+	f := &flight{key: key, done: make(chan struct{}), waiters: 1}
 	e.inflight[key] = f
+	e.pending++
+	useSlab := e.slab != nil && e.voxels(key.Res) >= e.cfg.SlabVoxels &&
+		e.slabFits(key.Res) && e.slabBrk.allow(now)
 	e.mu.Unlock()
 
-	if e.slab != nil && e.voxels(res) >= e.cfg.SlabVoxels && e.slabFits(res) {
-		e.runSlab(f)
+	if useSlab {
+		e.wg.Add(1)
+		go e.runSlab(f)
 	} else {
-		e.queue <- f
-		<-f.done
+		select {
+		case e.queue <- f:
+		case <-ctx.Done():
+			// cap(queue) == MaxQueue makes this branch unreachable in
+			// practice (admission bounds pending), but a ctx-aware send
+			// keeps the invariant local rather than global.
+			e.detach(f)
+			err := ctx.Err()
+			e.countCtxErr(err)
+			return Result{}, fmt.Errorf("serve: %w", err)
+		}
 	}
-	return f.result(e.dim)
+	return e.await(ctx, f, false, degradedReq)
+}
+
+// lookupLocked consults the result cache. Callers hold e.mu.
+func (e *Engine) lookupLocked(key Key) (Result, bool) {
+	if e.cache == nil {
+		return Result{}, false
+	}
+	u, ok := e.cache.get(key)
+	if !ok {
+		return Result{}, false
+	}
+	r := Result{U: cloneField(u), Res: key.Res, Dim: e.dim, Cached: true}
+	e.stats.Lock()
+	e.stats.cacheHits++
+	e.stats.Unlock()
+	return r, true
+}
+
+// await blocks until f completes or ctx is done. Cancellation detaches
+// this waiter only: the flight (and any sharers) proceed, and the batch
+// still populates the cache. The last waiter to detach abandons the
+// flight, which is then dropped before its forward runs.
+func (e *Engine) await(ctx context.Context, f *flight, shared, degradedReq bool) (Result, error) {
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		// Prefer a result that raced in just as the context fired.
+		select {
+		case <-f.done:
+		default:
+			e.detach(f)
+			err := ctx.Err()
+			e.countCtxErr(err)
+			return Result{}, fmt.Errorf("serve: %w", err)
+		}
+	}
+	r, err := f.result(e.dim)
+	if err != nil {
+		return r, err
+	}
+	e.stats.Lock()
+	if shared {
+		e.stats.shared++
+		r.Shared = true
+	}
+	if degradedReq {
+		e.stats.degradedServed++
+		r.Degraded = true
+	}
+	e.stats.Unlock()
+	return r, nil
+}
+
+// detach removes one waiter from f. The last waiter abandons the flight:
+// it leaves the single-flight table (so a later identical request
+// recomputes) and the dispatcher drops it before its forward runs.
+func (e *Engine) detach(f *flight) {
+	e.mu.Lock()
+	f.waiters--
+	if f.waiters <= 0 && !f.completed {
+		f.abandoned = true
+		if e.inflight[f.key] == f {
+			delete(e.inflight, f.key)
+		}
+		e.settleLocked(f)
+		e.observeLoadLocked()
+		e.stats.Lock()
+		e.stats.dropped++
+		e.stats.Unlock()
+	}
+	e.mu.Unlock()
+}
+
+// settleLocked releases f's admission-queue slot exactly once (both the
+// finish path and the abandon path funnel through it). Callers hold e.mu.
+func (e *Engine) settleLocked(f *flight) {
+	if !f.settled {
+		f.settled = true
+		e.pending--
+	}
+}
+
+// countCtxErr classifies a waiter's context error into the canceled vs
+// deadline-exceeded counters.
+func (e *Engine) countCtxErr(err error) {
+	e.stats.Lock()
+	if errors.Is(err, context.DeadlineExceeded) {
+		e.stats.deadlineExceeded++
+	} else {
+		e.stats.canceled++
+	}
+	e.stats.Unlock()
 }
 
 // slabFits reports whether res satisfies the slab decomposition's
@@ -349,18 +590,28 @@ func (e *Engine) slabFits(res int) bool {
 
 // SolveBatch answers a set of same-resolution queries concurrently and
 // returns results in input order. The queries flow through the same cache,
-// dedup and batching machinery as individual Solve calls, so a batch with
-// repeated ω values costs one forward per distinct ω at most.
-func (e *Engine) SolveBatch(ws []field.Omega, res int) ([]Result, error) {
-	out := make([]Result, len(ws))
-	errs := make([]error, len(ws))
-	var wg sync.WaitGroup
+// dedup, batching and admission machinery as individual Solve calls, so a
+// batch with repeated ω values costs one forward per distinct ω at most.
+func (e *Engine) SolveBatch(ctx context.Context, ws []field.Omega, res int) ([]Result, error) {
+	qs := make([]Query, len(ws))
 	for i, w := range ws {
+		qs[i] = Query{Omega: w, Res: res}
+	}
+	return e.SolveQueries(ctx, qs)
+}
+
+// SolveQueries is SolveBatch with per-query options. On error it returns
+// the partial results alongside the first error encountered.
+func (e *Engine) SolveQueries(ctx context.Context, qs []Query) ([]Result, error) {
+	out := make([]Result, len(qs))
+	errs := make([]error, len(qs))
+	var wg sync.WaitGroup
+	for i, q := range qs {
 		wg.Add(1)
-		go func(i int, w field.Omega) {
+		go func(i int, q Query) {
 			defer wg.Done()
-			out[i], errs[i] = e.Solve(w, res)
-		}(i, w)
+			out[i], errs[i] = e.SolveQuery(ctx, q)
+		}(i, q)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -371,25 +622,39 @@ func (e *Engine) SolveBatch(ws []field.Omega, res int) ([]Result, error) {
 	return out, nil
 }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters and gauges.
 func (e *Engine) Stats() Stats {
 	e.stats.Lock()
 	s := Stats{
-		Requests:        e.stats.requests,
-		CacheHits:       e.stats.cacheHits,
-		SharedInFlight:  e.stats.shared,
-		Forwards:        e.stats.forwards,
-		BatchedRequests: e.stats.batched,
-		SlabRequests:    e.stats.slabbed,
-		Replicas:        e.cfg.Replicas,
-		MaxBatch:        e.cfg.MaxBatch,
-		BatchWindowMS:   float64(e.cfg.BatchWindow) / float64(time.Millisecond),
+		Requests:         e.stats.requests,
+		CacheHits:        e.stats.cacheHits,
+		SharedInFlight:   e.stats.shared,
+		Forwards:         e.stats.forwards,
+		BatchedRequests:  e.stats.batched,
+		SlabRequests:     e.stats.slabbed,
+		Canceled:         e.stats.canceled,
+		DeadlineExceeded: e.stats.deadlineExceeded,
+		DegradedServed:   e.stats.degradedServed,
+		DroppedFlights:   e.stats.dropped,
+		SlabFallbacks:    e.stats.slabFallbacks,
+		Replicas:         e.cfg.Replicas,
+		MaxBatch:         e.cfg.MaxBatch,
+		BatchWindowMS:    float64(e.cfg.BatchWindow) / float64(time.Millisecond),
 	}
 	e.stats.Unlock()
 	e.mu.Lock()
 	if e.cache != nil {
 		s.CacheEntries = e.cache.len()
 	}
+	// Refresh the load signal so an idle engine recovers from degraded
+	// mode even with no admissions driving observeLoadLocked.
+	e.observeLoadLocked()
+	s.Shed = e.shedStats.shed
+	s.DeadlineSheds = e.shedStats.deadlineSheds
+	s.QueueDepth = e.pending
+	s.MaxQueue = e.cfg.MaxQueue
+	s.DegradedMode = e.degradedLocked()
+	s.BreakerOpen = e.slabBrk.tripped(time.Now())
 	e.mu.Unlock()
 	return s
 }
@@ -405,8 +670,9 @@ func (e *Engine) Close() {
 	e.closed = true
 	e.closeMu.Unlock()
 	// Acquiring the write lock above waited for every in-progress Solve
-	// (each holds the read lock for its full duration), so the queue is
-	// empty and no new flights can start; now stop the dispatcher.
+	// (each holds the read lock for its full duration), so every flight
+	// is either finished or abandoned and no new flights can start; now
+	// stop the dispatcher (which drops any abandoned stragglers).
 	close(e.quit)
 	e.wg.Wait()
 }

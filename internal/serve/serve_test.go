@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -58,7 +59,7 @@ func TestEngineMatchesMonolithic(t *testing.T) {
 			ref := net.Clone()
 			res := 8
 			for _, w := range field.SampleOmegas(5) {
-				got, err := e.Solve(w, res)
+				got, err := e.Solve(context.Background(), w, res)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -105,7 +106,7 @@ func TestEngineConcurrentBitIdentical(t *testing.T) {
 			for i := 0; i < perG; i++ {
 				res := resolutions[(g+i)%len(resolutions)]
 				w := omegas[(g*3+i)%len(omegas)]
-				got, err := e.Solve(w, res)
+				got, err := e.Solve(context.Background(), w, res)
 				if err != nil {
 					errs <- err
 					return
@@ -143,7 +144,7 @@ func TestCacheHitEqualsCold(t *testing.T) {
 	e := mustEngine(t, Config{Net: net, MaxBatch: 2, BatchWindow: time.Millisecond})
 	w := field.Omega{0.4, -1.2, 0.9, 2.1}
 
-	cold, err := e.Solve(w, 16)
+	cold, err := e.Solve(context.Background(), w, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestCacheHitEqualsCold(t *testing.T) {
 	for i := range cold.U {
 		cold.U[i] = -999 // must not reach the cache
 	}
-	hit, err := e.Solve(w, 16)
+	hit, err := e.Solve(context.Background(), w, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestSingleFlightDedup(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r, err := e.Solve(w, 8)
+			r, err := e.Solve(context.Background(), w, 8)
 			if err != nil {
 				t.Error(err)
 				return
@@ -219,7 +220,7 @@ func TestSlabRouting(t *testing.T) {
 	ref := net.Clone()
 	w := field.Omega{-0.3, 0.7, 1.9, -2.2}
 
-	got, err := e.Solve(w, 32)
+	got, err := e.Solve(context.Background(), w, 32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestSlabRouting(t *testing.T) {
 		}
 	}
 	// A small request must still take the batched path.
-	small, err := e.Solve(w, 16)
+	small, err := e.Solve(context.Background(), w, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +252,7 @@ func TestEngineValidation(t *testing.T) {
 	}
 	net := testNet(2)
 	e := mustEngine(t, Config{Net: net})
-	if _, err := e.Solve(field.Omega{}, 13); err == nil {
+	if _, err := e.Solve(context.Background(), field.Omega{}, 13); err == nil {
 		t.Fatal("expected error for invalid resolution")
 	}
 	if err := e.ValidateRes(13); err == nil {
@@ -265,7 +266,7 @@ func TestSolveBatchOrderAndDedup(t *testing.T) {
 	ref := net.Clone()
 	ws := field.SampleOmegas(6)
 	ws = append(ws, ws[0], ws[1]) // duplicates exercise cache/dedup
-	rs, err := e.SolveBatch(ws, 8)
+	rs, err := e.SolveBatch(context.Background(), ws, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,12 +289,12 @@ func TestCloseRejectsNewWork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Solve(field.Omega{0.1, 0.2, 0.3, 0.4}, 8); err != nil {
+	if _, err := e.Solve(context.Background(), field.Omega{0.1, 0.2, 0.3, 0.4}, 8); err != nil {
 		t.Fatal(err)
 	}
 	e.Close()
 	e.Close() // idempotent
-	if _, err := e.Solve(field.Omega{0.1, 0.2, 0.3, 0.4}, 8); err == nil {
+	if _, err := e.Solve(context.Background(), field.Omega{0.1, 0.2, 0.3, 0.4}, 8); err == nil {
 		t.Fatal("expected error after Close")
 	}
 }
