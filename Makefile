@@ -2,7 +2,7 @@ GO ?= go
 BENCH_OUT ?= BENCH_pr9.json
 MGLINT := bin/mglint
 
-.PHONY: all build vet test race bench ci clean tcp-smoke serve-smoke mglint lint
+.PHONY: all build vet test race bench ci clean tcp-smoke serve-smoke mglint lint lint-fix lint-fix-check
 
 all: build
 
@@ -21,17 +21,37 @@ test:
 mglint:
 	$(GO) build -o $(MGLINT) ./cmd/mglint
 
-# LINT_JSON=1 runs the standalone driver with one JSON diagnostic per
-# line on stdout (waived findings included, suppressed=true) instead of
-# the vettool text form; exit status is identical either way.
+# lint runs the suite through BOTH drivers and asserts they agree: the
+# standalone loader (-json, one diagnostic per line, waived findings
+# included with suppressed=true) and the go vet vettool protocol push
+# facts through different plumbing (in-process maps vs gob vetx files),
+# so a pass certifies both paths saw the same set of unsuppressed
+# findings — zero, or lint fails with the findings printed.
 lint: mglint
-ifeq ($(LINT_JSON),1)
-	./$(MGLINT) -json ./...
-else
-	$(GO) vet -vettool=$(MGLINT) ./...
-endif
+	@set -e; \
+	json=$$(mktemp); vet=$$(mktemp); trap 'rm -f "$$json" "$$vet"' EXIT; \
+	echo "mglint standalone (-json)"; \
+	./$(MGLINT) -json ./... >"$$json" || { cat "$$json"; exit 1; }; \
+	echo "mglint vettool (go vet protocol)"; \
+	$(GO) vet -vettool=$(MGLINT) ./... 2>"$$vet" || { cat "$$vet"; exit 1; }; \
+	a=$$(grep -c '"suppressed":false' "$$json" || true); \
+	b=$$(grep -cE '\.go:[0-9]+' "$$vet" || true); \
+	if [ "$$a" != "$$b" ]; then \
+	  echo "mglint drivers disagree: standalone reported $$a findings, vettool $$b"; \
+	  cat "$$json" "$$vet"; exit 1; \
+	fi
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
+
+# lint-fix applies every suggested fix (errflow rewrites to errors.Is,
+# errors-import insertion, ...) in place; waived findings are left alone.
+lint-fix: mglint
+	./$(MGLINT) -fix ./...
+
+# lint-fix-check proves -fix on a deliberately dirty fixture produces a
+# gofmt-clean tree that lints clean on re-run (CI runs this).
+lint-fix-check: mglint
+	./scripts/lint_fix_check.sh
 
 race:
 	$(GO) test -race -short ./...

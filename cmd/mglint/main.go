@@ -5,11 +5,13 @@
 //
 // Two modes share one analyzer suite (internal/analysis/all):
 //
-//	mglint [-only name,name] [-json] [packages]
+//	mglint [-only name,...] [-exclude name,...] [-json] [-fix] [packages]
 //	    standalone: load packages (default ./...) through `go list
 //	    -export`, schedule them in dependency order so cross-package
 //	    facts flow, and report every unsuppressed diagnostic. Exit 1 if
-//	    any.
+//	    any. -fix applies the preferred suggested fix of every
+//	    unsuppressed diagnostic that carries one (gofmt-clean, refusing
+//	    suppressed or conflicting edits) and reports only what remains.
 //
 //	go vet -vettool=$(which mglint) ./...
 //	    vettool: the go command probes -flags and -V=full, then invokes
@@ -34,6 +36,7 @@ package main
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"go/token"
@@ -63,11 +66,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mglint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	exclude := fs.String("exclude", "", "comma-separated analyzer names to skip")
 	jsonOut := fs.Bool("json", false, "emit one JSON diagnostic per line on stdout (includes suppressed)")
+	fix := fs.Bool("fix", false, "apply suggested fixes in place (standalone mode only)")
+	fs.Usage = func() {
+		fmt.Fprint(stderr, usage)
+		fs.PrintDefaults()
+	}
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // the user asked for the usage text; that's not an error
+		}
 		return 2
 	}
-	analyzers, err := selectAnalyzers(*only)
+	analyzers, err := selectAnalyzers(*only, *exclude)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
@@ -75,38 +87,123 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	rest := fs.Args()
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		if *fix {
+			// The vet protocol gives no way to rewrite sources mid-build,
+			// and go vet would cache the unit as analyzed anyway.
+			fmt.Fprintln(stderr, "mglint: -fix is not supported in vettool mode")
+			return 2
+		}
 		return runUnit(rest[0], analyzers, *jsonOut, stdout, stderr)
 	}
-	return runStandalone(rest, analyzers, *jsonOut, stdout, stderr)
+	return runStandalone(rest, analyzers, *jsonOut, *fix, stdout, stderr)
 }
 
-func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+const usage = `usage: mglint [flags] [packages]
+       go vet -vettool=mglint [packages]
+
+Analyzers: ` + "`mglint -only=`" + ` with an unknown name lists valid ones.
+
+Exit codes, standalone mode:
+    0  no unsuppressed diagnostics (waived-only counts as clean)
+    1  unsuppressed diagnostics reported (after fixes, with -fix)
+    2  usage, load, or fix-application error
+
+Exit codes, vettool mode (per build unit, matching cmd/vet):
+    0  clean
+    2  diagnostics reported, or an internal error
+
+Flags:
+`
+
+func selectAnalyzers(only, exclude string) ([]*analysis.Analyzer, error) {
 	suite := all.Analyzers()
-	if only == "" {
-		return suite, nil
-	}
 	byName := make(map[string]*analysis.Analyzer)
+	var names []string
 	for _, a := range suite {
 		byName[a.Name] = a
+		names = append(names, a.Name)
+	}
+	unknown := func(name string) error {
+		return fmt.Errorf("mglint: unknown analyzer %q (valid: %s)", name, strings.Join(names, ", "))
+	}
+	excluded := make(map[string]bool)
+	if exclude != "" {
+		for _, name := range strings.Split(exclude, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := byName[name]; !ok {
+				return nil, unknown(name)
+			}
+			excluded[name] = true
+		}
+	}
+	selected := suite
+	if only != "" {
+		selected = nil
+		for _, name := range strings.Split(only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				return nil, unknown(name)
+			}
+			selected = append(selected, a)
+		}
 	}
 	var out []*analysis.Analyzer
-	for _, name := range strings.Split(only, ",") {
-		a, ok := byName[strings.TrimSpace(name)]
-		if !ok {
-			return nil, fmt.Errorf("mglint: unknown analyzer %q", name)
+	for _, a := range selected {
+		if !excluded[a.Name] {
+			out = append(out, a)
 		}
-		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mglint: -only/-exclude selected no analyzers")
 	}
 	return out, nil
 }
 
 // jsonDiag is the one-per-line wire form of -json output.
 type jsonDiag struct {
-	Path       string `json:"path"`
-	Line       int    `json:"line"`
-	Analyzer   string `json:"analyzer"`
-	Message    string `json:"message"`
-	Suppressed bool   `json:"suppressed"`
+	Path       string    `json:"path"`
+	Line       int       `json:"line"`
+	Analyzer   string    `json:"analyzer"`
+	Message    string    `json:"message"`
+	Suppressed bool      `json:"suppressed"`
+	Fixes      []jsonFix `json:"fixes,omitempty"`
+}
+
+// jsonFix mirrors analysis.SuggestedFix with byte-offset edits, so
+// editors can apply a rewrite without reparsing positions.
+type jsonFix struct {
+	Message string     `json:"message"`
+	Edits   []jsonEdit `json:"edits"`
+}
+
+type jsonEdit struct {
+	Path    string `json:"path"`
+	Start   int    `json:"start"` // byte offset, inclusive
+	End     int    `json:"end"`   // byte offset, exclusive
+	NewText string `json:"new_text"`
+}
+
+func jsonFixes(fset *token.FileSet, d analysis.Diagnostic) []jsonFix {
+	var out []jsonFix
+	for _, f := range d.SuggestedFixes {
+		jf := jsonFix{Message: f.Message}
+		for _, e := range f.TextEdits {
+			start := fset.Position(e.Pos)
+			end := start.Offset
+			if e.End.IsValid() {
+				end = fset.Position(e.End).Offset
+			}
+			jf.Edits = append(jf.Edits, jsonEdit{
+				Path:    start.Filename,
+				Start:   start.Offset,
+				End:     end,
+				NewText: string(e.NewText),
+			})
+		}
+		out = append(out, jf)
+	}
+	return out
 }
 
 // emit prints diagnostics in the selected format and returns the count of
@@ -128,6 +225,7 @@ func emit(fset *token.FileSet, diags []analysis.Diagnostic, jsonOut bool, stdout
 				Analyzer:   d.Analyzer,
 				Message:    d.Message,
 				Suppressed: d.Suppressed,
+				Fixes:      jsonFixes(fset, d),
 			})
 		} else if !d.Suppressed {
 			fmt.Fprintf(stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
@@ -136,7 +234,7 @@ func emit(fset *token.FileSet, diags []analysis.Diagnostic, jsonOut bool, stdout
 	return unsuppressed
 }
 
-func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bool, stdout, stderr io.Writer) int {
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut, fix bool, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -151,7 +249,32 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bo
 		return 2
 	}
 	// Packages share one FileSet per Load, so any package resolves positions.
-	if emit(pkgs[0].Fset, diags, jsonOut, stdout, stderr) > 0 {
+	fset := pkgs[0].Fset
+	if fix {
+		fixed, err := analysis.ApplyFixes(fset, diags)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		for file, content := range fixed {
+			if err := os.WriteFile(file, content, 0o644); err != nil {
+				fmt.Fprintln(stderr, "mglint:", err)
+				return 2
+			}
+			fmt.Fprintf(stderr, "mglint: fixed %s\n", file)
+		}
+		// Report only what -fix could not resolve; the rewritten
+		// occurrences are gone from the tree, so re-reporting them would
+		// just restate the diff.
+		var remaining []analysis.Diagnostic
+		for _, d := range diags {
+			if d.Suppressed || len(d.SuggestedFixes) == 0 {
+				remaining = append(remaining, d)
+			}
+		}
+		diags = remaining
+	}
+	if emit(fset, diags, jsonOut, stdout, stderr) > 0 {
 		return 1
 	}
 	return 0
@@ -175,7 +298,9 @@ func runUnit(cfgPath string, analyzers []*analysis.Analyzer, jsonOut bool, stdou
 // printFlags answers the go command's -flags probe: the JSON schema of
 // flags the tool accepts, so `go vet -vettool=mglint -only=...` works.
 func printFlags(stdout io.Writer) int {
-	fmt.Fprintln(stdout, `[{"Name":"only","Bool":false,"Usage":"comma-separated analyzer names to run"},{"Name":"json","Bool":true,"Usage":"emit one JSON diagnostic per line on stdout"}]`)
+	// -fix is deliberately absent: go vet then refuses to forward it,
+	// which is the behavior we want (fixes only make sense standalone).
+	fmt.Fprintln(stdout, `[{"Name":"only","Bool":false,"Usage":"comma-separated analyzer names to run"},{"Name":"exclude","Bool":false,"Usage":"comma-separated analyzer names to skip"},{"Name":"json","Bool":true,"Usage":"emit one JSON diagnostic per line on stdout"}]`)
 	return 0
 }
 

@@ -1,0 +1,13 @@
+// Package eof carries one errflow finding with a suggested fix: the
+// -fix tests copy this module to a temp dir, apply the rewrite, and
+// assert the result is gofmt-clean and lints clean.
+package eof
+
+import (
+	"io"
+)
+
+// AtEOF compares a possibly-wrapped error with ==.
+func AtEOF(err error) bool {
+	return err == io.EOF
+}

@@ -6,7 +6,9 @@ package all
 import (
 	"mgdiffnet/internal/analysis"
 	"mgdiffnet/internal/analysis/passes/closecheck"
+	"mgdiffnet/internal/analysis/passes/ctxcheck"
 	"mgdiffnet/internal/analysis/passes/detrand"
+	"mgdiffnet/internal/analysis/passes/errflow"
 	"mgdiffnet/internal/analysis/passes/goroutinefatal"
 	"mgdiffnet/internal/analysis/passes/hotalloc"
 	"mgdiffnet/internal/analysis/passes/lockcheck"
@@ -18,7 +20,9 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		closecheck.Analyzer,
+		ctxcheck.Analyzer,
 		detrand.Analyzer,
+		errflow.Analyzer,
 		goroutinefatal.Analyzer,
 		hotalloc.Analyzer,
 		lockcheck.Analyzer,

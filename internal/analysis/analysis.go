@@ -50,6 +50,27 @@ type Diagnostic struct {
 	Message    string
 	Analyzer   string // name of the reporting analyzer (filled by the driver)
 	Suppressed bool   // waived by a directive
+
+	// SuggestedFixes are machine-applicable rewrites that resolve the
+	// finding. The first fix is the preferred one; `mglint -fix` applies
+	// it unless the diagnostic is suppressed or its edits conflict with
+	// another fix.
+	SuggestedFixes []SuggestedFix
+}
+
+// A SuggestedFix is one self-contained rewrite: applying every edit in
+// TextEdits (and nothing else) resolves the diagnostic it is attached to.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// A TextEdit replaces the source range [Pos, End) with NewText. End ==
+// token.NoPos means End = Pos, a pure insertion.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
 }
 
 // A Pass hands one type-checked package to one analyzer.
@@ -68,6 +89,13 @@ type Pass struct {
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// Report records a fully-formed diagnostic; analyzers use it when they
+// attach SuggestedFixes. The driver fills the Analyzer name.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
 }
 
 // TypeOf returns the type of e, or nil if unknown.

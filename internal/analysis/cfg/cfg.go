@@ -29,6 +29,33 @@ type Graph struct {
 	Entry  *Block
 	Exit   *Block
 	Blocks []*Block
+
+	index map[ast.Node]NodeRef // lazily built by Lookup
+}
+
+// A NodeRef addresses one node inside the graph: Blocks[Block].Nodes[Index].
+type NodeRef struct {
+	Block int
+	Index int
+}
+
+// Lookup returns the position of n in the graph — the block holding it
+// and its index within that block's Nodes. Only nodes the builder placed
+// directly in a block are addressable (statements, conditions, range
+// operands); sub-expressions are not. The reverse index is built on the
+// first call and reused, so dataflow clients can resolve def and use
+// sites in O(1).
+func (g *Graph) Lookup(n ast.Node) (NodeRef, bool) {
+	if g.index == nil {
+		g.index = make(map[ast.Node]NodeRef)
+		for bi, b := range g.Blocks {
+			for i, node := range b.Nodes {
+				g.index[node] = NodeRef{Block: bi, Index: i}
+			}
+		}
+	}
+	ref, ok := g.index[n]
+	return ref, ok
 }
 
 // A Block is a maximal straight-line sequence. Nodes holds statements and

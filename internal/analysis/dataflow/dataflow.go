@@ -1,0 +1,638 @@
+// Package dataflow is an intra-procedural def-use engine over the
+// per-function CFGs of internal/analysis/cfg: reaching definitions by a
+// worklist fixed point, per-block use sites, value aliasing through
+// ident-to-ident assignments, and path queries ("is this definition dead
+// on some path to exit?"). It is the value-flow layer the syntactic and
+// CFG-shape analyzers were missing — closecheck can follow a write
+// handle through `w := f`, errflow can tell whether the error being
+// compared with == may have come from a wrapping call, ctxcheck can
+// prove a cancel func fires on every path.
+//
+// Scope matches the cfg package deliberately: one function body,
+// statement granularity, function literals opaque. Defs are collected
+// from assignments, short variable declarations, var specs, range and
+// type-switch bindings, inc/dec, and the function's own parameters,
+// receiver and named results (anchored at entry). The lattice is the
+// powerset of definition sites ordered by inclusion; transfer functions
+// are the usual gen/kill, and the fixed point is reached by iterating a
+// worklist of blocks until no out-set changes — monotone and finite, so
+// termination is structural.
+//
+// Soundness posture: the engine is conservative in the direction its
+// clients need for *reporting*. A variable whose address is taken or
+// that is touched inside a nested function literal has unknowable
+// extra-CFG flow, so DeadOnSomePath answers false for it (suppressing
+// the report) rather than guessing. Aliasing is flow-insensitive
+// may-alias over whole variables: `w := f` joins w and f; element,
+// field and pointer-indirection aliasing are out of scope.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mgdiffnet/internal/analysis/cfg"
+)
+
+// A Def is one definition of a function-local variable: a binding or
+// assignment, or the implicit definition of a parameter, receiver or
+// named result at function entry.
+type Def struct {
+	Obj  types.Object  // the variable defined
+	Site ast.Node      // the CFG node carrying the definition (nil for entry defs)
+	Name *ast.Ident    // the defined identifier (nil for implicit bindings)
+	RHS  ast.Expr      // the value expression when one maps to this variable
+	Call *ast.CallExpr // the producing call when the value comes from a call
+
+	// Ref anchors the def in the graph. Entry defs use the entry block
+	// with Index -1, ordering them before every statement.
+	Ref cfg.NodeRef
+
+	id int // dense index into Flow.defs, used by the bitsets
+}
+
+// Entry reports whether the def is the implicit function-entry binding
+// of a parameter, receiver or named result.
+func (d *Def) Entry() bool { return d.Site == nil }
+
+// A Use is one read of a variable inside a CFG node.
+type Use struct {
+	Obj types.Object
+	Id  *ast.Ident
+	Ref cfg.NodeRef
+
+	// InFuncLit marks reads (and writes — a write at an unknown time is
+	// treated as a read for reporting purposes) inside a nested function
+	// literal, anchored at the node where the literal appears.
+	InFuncLit bool
+}
+
+// Flow holds the solved dataflow of one function body.
+type Flow struct {
+	G    *cfg.Graph
+	info *types.Info
+
+	defs      []*Def
+	defsOf    map[types.Object][]*Def
+	defsByRef map[cfg.NodeRef][]*Def
+	uses      []Use
+	usesOf    map[types.Object][]Use
+
+	addressed map[types.Object]bool // &x taken somewhere in the body
+	captured  map[types.Object]bool // referenced inside a function literal
+	results   map[types.Object]bool // named result variables (read by bare returns)
+
+	alias map[types.Object]types.Object // union-find parent
+
+	in, out []bitset // reaching defs at block entry/exit
+}
+
+// New builds and solves the dataflow of one function body over its CFG.
+// recv and fnType may be nil (function literals have no receiver); info
+// must be the type-checked package's Info.
+func New(g *cfg.Graph, recv *ast.FieldList, fnType *ast.FuncType, body *ast.BlockStmt, info *types.Info) *Flow {
+	f := &Flow{
+		G:         g,
+		info:      info,
+		defsOf:    make(map[types.Object][]*Def),
+		defsByRef: make(map[cfg.NodeRef][]*Def),
+		usesOf:    make(map[types.Object][]Use),
+		addressed: make(map[types.Object]bool),
+		captured:  make(map[types.Object]bool),
+		results:   make(map[types.Object]bool),
+		alias:     make(map[types.Object]types.Object),
+	}
+	f.collectEntryDefs(recv, fnType)
+	f.collectBindingDefs(body)
+	f.collectNodeDefsAndUses()
+	f.solve()
+	return f
+}
+
+// --- definition and use collection ---
+
+func (f *Flow) addDef(d *Def) {
+	if d.Obj == nil || !isLocalVar(d.Obj) {
+		return
+	}
+	d.id = len(f.defs)
+	f.defs = append(f.defs, d)
+	f.defsOf[d.Obj] = append(f.defsOf[d.Obj], d)
+	f.defsByRef[d.Ref] = append(f.defsByRef[d.Ref], d)
+	if d.RHS != nil {
+		if id, ok := unparen(d.RHS).(*ast.Ident); ok {
+			if src := f.objOf(id); src != nil && isLocalVar(src) {
+				f.union(d.Obj, src)
+			}
+		}
+	}
+}
+
+func (f *Flow) objOf(id *ast.Ident) types.Object {
+	if obj := f.info.Uses[id]; obj != nil {
+		return obj
+	}
+	return f.info.Defs[id]
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// collectEntryDefs binds parameters, the receiver and named results at
+// function entry.
+func (f *Flow) collectEntryDefs(recv *ast.FieldList, fnType *ast.FuncType) {
+	entryRef := cfg.NodeRef{Block: f.G.Entry.Index, Index: -1}
+	bind := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if name.Name == "_" {
+					continue
+				}
+				f.addDef(&Def{Obj: f.info.Defs[name], Name: name, Ref: entryRef})
+			}
+		}
+	}
+	bind(recv)
+	if fnType != nil {
+		bind(fnType.Params)
+		bind(fnType.Results)
+		if fnType.Results != nil {
+			for _, field := range fnType.Results.List {
+				for _, name := range field.Names {
+					if obj := f.info.Defs[name]; obj != nil {
+						f.results[obj] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectBindingDefs anchors range and type-switch bindings, whose
+// defining identifiers live on statements the CFG builder decomposes:
+// range Key/Value at the range operand's node (the loop head, so the def
+// regenerates each iteration), type-switch implicits at the assign node.
+func (f *Flow) collectBindingDefs(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			ref, ok := f.G.Lookup(n.X)
+			if !ok {
+				return true
+			}
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				id, isId := e.(*ast.Ident)
+				if !isId || id.Name == "_" {
+					continue
+				}
+				f.addDef(&Def{Obj: f.objOf(id), Site: n.X, Name: id, Ref: ref})
+			}
+		case *ast.TypeSwitchStmt:
+			as, isAssign := n.Assign.(*ast.AssignStmt)
+			if !isAssign {
+				return true
+			}
+			ref, ok := f.G.Lookup(n.Assign)
+			if !ok {
+				return true
+			}
+			for _, cl := range n.Body.List {
+				if obj := f.info.Implicits[cl]; obj != nil {
+					name, _ := as.Lhs[0].(*ast.Ident)
+					f.addDef(&Def{Obj: obj, Site: n.Assign, Name: name, Ref: ref})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectNodeDefsAndUses walks every CFG node once, extracting
+// statement-level defs and identifier uses. Function literal subtrees
+// contribute uses (marked InFuncLit) but no defs: their bodies are other
+// functions.
+func (f *Flow) collectNodeDefsAndUses() {
+	for bi, b := range f.G.Blocks {
+		for i, n := range b.Nodes {
+			ref := cfg.NodeRef{Block: bi, Index: i}
+			f.nodeDefs(n, ref)
+			f.nodeUses(n, ref)
+		}
+	}
+}
+
+// nodeDefs extracts the defs a single CFG node performs directly.
+func (f *Flow) nodeDefs(n ast.Node, ref cfg.NodeRef) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		f.assignDefs(n, ref)
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for vi, name := range vs.Names {
+				if name.Name == "_" {
+					continue
+				}
+				d := &Def{Obj: f.info.Defs[name], Site: n, Name: name, Ref: ref}
+				if len(vs.Values) == len(vs.Names) {
+					d.RHS = vs.Values[vi]
+					d.Call, _ = unparen(d.RHS).(*ast.CallExpr)
+				} else if len(vs.Values) == 1 {
+					d.Call, _ = unparen(vs.Values[0]).(*ast.CallExpr)
+				}
+				f.addDef(d)
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := unparen(n.X).(*ast.Ident); ok {
+			f.addDef(&Def{Obj: f.objOf(id), Site: n, Name: id, Ref: ref})
+		}
+	}
+}
+
+func (f *Flow) assignDefs(as *ast.AssignStmt, ref cfg.NodeRef) {
+	for li, lhs := range as.Lhs {
+		id, ok := unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		d := &Def{Obj: f.objOf(id), Site: as, Name: id, Ref: ref}
+		// Compound assignments (+=, &^=, ...) derive the new value from
+		// the old; they define the variable but carry no RHS value
+		// expression, so no alias or producing-call information.
+		if as.Tok == token.ASSIGN || as.Tok == token.DEFINE {
+			if len(as.Rhs) == len(as.Lhs) {
+				d.RHS = as.Rhs[li]
+				d.Call, _ = unparen(d.RHS).(*ast.CallExpr)
+			} else if len(as.Rhs) == 1 {
+				// Multi-value form: a call, type assertion, map index or
+				// channel receive feeding every LHS.
+				d.Call, _ = unparen(as.Rhs[0]).(*ast.CallExpr)
+			}
+		}
+		f.addDef(d)
+	}
+}
+
+// nodeUses records identifier reads inside one node. Plain-assignment
+// LHS identifiers are definitions, not reads; compound assignments and
+// inc/dec read the old value, so their target counts as both.
+func (f *Flow) nodeUses(n ast.Node, ref cfg.NodeRef) {
+	pureDefs := make(map[*ast.Ident]bool)
+	if as, ok := n.(*ast.AssignStmt); ok && (as.Tok == token.ASSIGN || as.Tok == token.DEFINE) {
+		for _, lhs := range as.Lhs {
+			if id, ok := unparen(lhs).(*ast.Ident); ok {
+				pureDefs[id] = true
+			}
+		}
+	}
+	var walk func(n ast.Node, inLit bool)
+	walk = func(n ast.Node, inLit bool) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				if !inLit {
+					walk(x.Body, true)
+					return false
+				}
+				return true
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					if id, ok := unparen(x.X).(*ast.Ident); ok {
+						if obj := f.objOf(id); obj != nil {
+							f.addressed[obj] = true
+						}
+					}
+				}
+			case *ast.Ident:
+				obj := f.info.Uses[x]
+				if obj == nil || !isLocalVar(obj) {
+					return true
+				}
+				if pureDefs[x] && !inLit {
+					return true
+				}
+				u := Use{Obj: obj, Id: x, Ref: ref, InFuncLit: inLit}
+				f.uses = append(f.uses, u)
+				f.usesOf[obj] = append(f.usesOf[obj], u)
+				if inLit {
+					f.captured[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	walk(n, false)
+}
+
+// isLocalVar reports whether obj is a function-scoped variable — the
+// only objects this engine tracks.
+func isLocalVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == nil || v.Parent() != v.Pkg().Scope()
+}
+
+// --- reaching definitions fixed point ---
+
+type bitset []uint64
+
+func newBitset(n int) bitset    { return make(bitset, (n+63)/64) }
+func (s bitset) set(i int)      { s[i/64] |= 1 << (i % 64) }
+func (s bitset) clear(i int)    { s[i/64] &^= 1 << (i % 64) }
+func (s bitset) has(i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
+func (s bitset) orInto(t bitset) bool {
+	changed := false
+	for i := range s {
+		if n := s[i] | t[i]; n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+func (s bitset) copyFrom(t bitset) {
+	copy(s, t)
+}
+
+// transfer applies one def: gen it, kill every other def of the same
+// variable.
+func (f *Flow) transfer(set bitset, d *Def) {
+	for _, other := range f.defsOf[d.Obj] {
+		set.clear(other.id)
+	}
+	set.set(d.id)
+}
+
+// solve runs the worklist fixed point: out[b] = gen_b(in[b]) with
+// in[b] = ∪ out[pred]. Blocks re-enter the worklist when a predecessor's
+// out-set grows; sets only grow, so the iteration terminates.
+func (f *Flow) solve() {
+	n := len(f.defs)
+	nb := len(f.G.Blocks)
+	f.in = make([]bitset, nb)
+	f.out = make([]bitset, nb)
+	for i := 0; i < nb; i++ {
+		f.in[i] = newBitset(n)
+		f.out[i] = newBitset(n)
+	}
+	preds := make([][]int, nb)
+	for _, b := range f.G.Blocks {
+		for _, s := range b.Succs {
+			preds[s.Index] = append(preds[s.Index], b.Index)
+		}
+	}
+	// Entry defs seed the entry block's in-set.
+	for _, d := range f.defs {
+		if d.Entry() {
+			f.in[f.G.Entry.Index].set(d.id)
+		}
+	}
+	work := make([]int, 0, nb)
+	inWork := make([]bool, nb)
+	for i := 0; i < nb; i++ {
+		work = append(work, i)
+		inWork[i] = true
+	}
+	tmp := newBitset(n)
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		inWork[bi] = false
+		tmp.copyFrom(f.in[bi])
+		for i := range f.G.Blocks[bi].Nodes {
+			for _, d := range f.defsByRef[cfg.NodeRef{Block: bi, Index: i}] {
+				f.transfer(tmp, d)
+			}
+		}
+		// The transfer function is monotone in the in-set and in-sets
+		// only grow, so out-sets only grow: union-into doubles as
+		// assignment, and its change report drives the worklist.
+		if !f.out[bi].orInto(tmp) {
+			continue
+		}
+		for _, s := range f.G.Blocks[bi].Succs {
+			if f.in[s.Index].orInto(f.out[bi]) && !inWork[s.Index] {
+				work = append(work, s.Index)
+				inWork[s.Index] = true
+			}
+		}
+	}
+}
+
+// --- queries ---
+
+// DefsOf returns every definition of obj in source order of discovery.
+func (f *Flow) DefsOf(obj types.Object) []*Def { return f.defsOf[obj] }
+
+// UsesOf returns every recorded read of obj.
+func (f *Flow) UsesOf(obj types.Object) []Use { return f.usesOf[obj] }
+
+// Addressed reports whether &obj is taken anywhere in the body.
+func (f *Flow) Addressed(obj types.Object) bool { return f.addressed[obj] }
+
+// Captured reports whether obj is referenced inside a nested function
+// literal.
+func (f *Flow) Captured(obj types.Object) bool { return f.captured[obj] }
+
+// ReachingDefs returns the definitions of obj that may reach the point
+// just before Blocks[ref.Block].Nodes[ref.Index] executes (Index -1 or 0
+// = block entry). The result is in def-discovery order.
+func (f *Flow) ReachingDefs(ref cfg.NodeRef, obj types.Object) []*Def {
+	if ref.Block < 0 || ref.Block >= len(f.in) {
+		return nil
+	}
+	set := newBitset(len(f.defs))
+	set.copyFrom(f.in[ref.Block])
+	nodes := f.G.Blocks[ref.Block].Nodes
+	for i := 0; i < ref.Index && i < len(nodes); i++ {
+		for _, d := range f.defsByRef[cfg.NodeRef{Block: ref.Block, Index: i}] {
+			f.transfer(set, d)
+		}
+	}
+	var out []*Def
+	for _, d := range f.defsOf[obj] {
+		if set.has(d.id) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// --- aliasing (flow-insensitive may-alias over whole variables) ---
+
+func (f *Flow) find(obj types.Object) types.Object {
+	for {
+		p, ok := f.alias[obj]
+		if !ok || p == obj {
+			return obj
+		}
+		// Path halving keeps the forest shallow.
+		if gp, ok := f.alias[p]; ok {
+			f.alias[obj] = gp
+		}
+		obj = p
+	}
+}
+
+func (f *Flow) union(a, b types.Object) {
+	ra, rb := f.find(a), f.find(b)
+	if ra != rb {
+		f.alias[ra] = rb
+	}
+}
+
+// MayAlias reports whether a and b may hold the same value through a
+// chain of ident-to-ident assignments (`w := f`, `w = f`).
+func (f *Flow) MayAlias(a, b types.Object) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	return a == b || f.find(a) == f.find(b)
+}
+
+// AliasSeeds expands a set of variables to every variable that may hold
+// the same value, in deterministic def-discovery order.
+func (f *Flow) AliasSeeds(seeds map[types.Object]bool) map[types.Object]bool {
+	out := make(map[types.Object]bool, len(seeds))
+	for obj := range seeds {
+		out[obj] = true
+	}
+	for _, d := range f.defs {
+		for seed := range seeds {
+			if f.MayAlias(d.Obj, seed) {
+				out[d.Obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// --- path queries ---
+
+// DeadOnSomePath reports whether some path from d to function exit never
+// reads d's value: the value is either overwritten by a later definition
+// or simply dropped at exit. Variables whose address is taken or that
+// are touched inside a function literal have flow the CFG cannot see, so
+// the query answers false for them.
+func (f *Flow) DeadOnSomePath(d *Def) bool {
+	if f.addressed[d.Obj] || f.captured[d.Obj] {
+		return false
+	}
+	type state struct {
+		block int
+		index int // first node index to examine
+	}
+	// usesByRef/defsByRef for d.Obj only.
+	useAt := make(map[cfg.NodeRef]bool)
+	for _, u := range f.usesOf[d.Obj] {
+		useAt[u.Ref] = true
+	}
+	redefAt := make(map[cfg.NodeRef]bool)
+	for _, other := range f.defsOf[d.Obj] {
+		if other != d && !other.Entry() {
+			redefAt[other.Ref] = true
+		}
+	}
+	visited := make(map[int]bool)
+	stack := []state{{d.Ref.Block, d.Ref.Index + 1}}
+	for len(stack) > 0 {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b := f.G.Blocks[st.block]
+		stopped := false
+		for i := st.index; i < len(b.Nodes); i++ {
+			ref := cfg.NodeRef{Block: st.block, Index: i}
+			if useAt[ref] {
+				stopped = true // the value is read on this path
+				break
+			}
+			if redefAt[ref] {
+				return true // overwritten before any read
+			}
+		}
+		if stopped {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s == f.G.Exit {
+				return true // fell off the end unread
+			}
+			if !visited[s.Index] {
+				visited[s.Index] = true
+				stack = append(stack, state{s.Index, 0})
+			}
+		}
+	}
+	return false
+}
+
+// UsedOnEveryPath reports whether every path from d to function exit
+// reads d's value before exit or redefinition — the shape lostcancel
+// needs: a cancel func must be called (or deferred, which is a use at
+// the defer statement) on all paths. It is the negation of
+// DeadOnSomePath except for the conservative escapes: an addressed or
+// captured variable counts as used (its flow is unknowable).
+func (f *Flow) UsedOnEveryPath(d *Def) bool {
+	if f.addressed[d.Obj] || f.captured[d.Obj] {
+		return true
+	}
+	return !f.DeadOnSomePath(d)
+}
+
+// DeadEverywhere reports whether d's value is read on NO path: no use
+// site is reached by d, and — when the variable is a named result — d
+// does not survive to function exit (where a return reads it
+// implicitly). This is the strict form dropped-value reporting needs:
+// the default-then-override idiom (`err := f(); if c { err = g() };
+// use(err)`) is dead on the override path but read on the other, and
+// must not be flagged; DeadEverywhere is false for it.
+func (f *Flow) DeadEverywhere(d *Def) bool {
+	if f.addressed[d.Obj] || f.captured[d.Obj] {
+		return false
+	}
+	for _, u := range f.usesOf[d.Obj] {
+		for _, rd := range f.ReachingDefs(u.Ref, d.Obj) {
+			if rd == d {
+				return false
+			}
+		}
+	}
+	if f.results[d.Obj] {
+		// A bare return reads named results without an identifier; d
+		// surviving to exit means some return hands it back.
+		for _, rd := range f.reachingAtExit(d.Obj) {
+			if rd == d {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// reachingAtExit returns the defs of obj in the exit block's in-set.
+func (f *Flow) reachingAtExit(obj types.Object) []*Def {
+	return f.ReachingDefs(cfg.NodeRef{Block: f.G.Exit.Index, Index: 0}, obj)
+}

@@ -1,0 +1,389 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"mgdiffnet/internal/analysis/cfg"
+)
+
+// build parses src (a complete file), type-checks it, and returns the
+// solved Flow of the function named fn together with the maps needed to
+// poke at it.
+func build(t *testing.T, src, fn string) (*Flow, *types.Info, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "flow.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:     make(map[ast.Expr]types.TypeAndValue),
+		Defs:      make(map[*ast.Ident]types.Object),
+		Uses:      make(map[*ast.Ident]types.Object),
+		Implicits: make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != fn {
+			continue
+		}
+		g := cfg.New(fd.Body, info)
+		return New(g, fd.Recv, fd.Type, fd.Body, info), info, fd
+	}
+	t.Fatalf("no function %q in source", fn)
+	return nil, nil, nil
+}
+
+// objNamed finds the (unique) local object with the given name among the
+// flow's defs.
+func objNamed(t *testing.T, f *Flow, name string) types.Object {
+	t.Helper()
+	var found types.Object
+	for _, d := range f.defs {
+		if d.Obj.Name() == name {
+			if found != nil && found != d.Obj {
+				t.Fatalf("ambiguous object name %q", name)
+			}
+			found = d.Obj
+		}
+	}
+	if found == nil {
+		t.Fatalf("no def of %q", name)
+	}
+	return found
+}
+
+// useRef returns the ref of the i-th recorded use of obj.
+func useRef(t *testing.T, f *Flow, obj types.Object, i int) cfg.NodeRef {
+	t.Helper()
+	us := f.UsesOf(obj)
+	if len(us) <= i {
+		t.Fatalf("want at least %d uses of %s, have %d", i+1, obj.Name(), len(us))
+	}
+	return us[i].Ref
+}
+
+func TestDiamondMerge(t *testing.T) {
+	f, _, _ := build(t, `package p
+func diamond(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	} else {
+		x = 3
+	}
+	return x
+}`, "diamond")
+	x := objNamed(t, f, "x")
+	if got := len(f.DefsOf(x)); got != 3 {
+		t.Fatalf("defs of x = %d, want 3", got)
+	}
+	// At the return, both branch defs reach and the initial def is killed.
+	ref := useRef(t, f, x, len(f.UsesOf(x))-1)
+	reach := f.ReachingDefs(ref, x)
+	if len(reach) != 2 {
+		t.Fatalf("reaching defs at return = %d, want 2 (one per branch)", len(reach))
+	}
+	for _, d := range reach {
+		if d == f.DefsOf(x)[0] {
+			t.Fatalf("initial def x := 1 survived the diamond; it is killed on both branches")
+		}
+	}
+	// The initial def is overwritten unread on both paths.
+	if !f.DeadEverywhere(f.DefsOf(x)[0]) {
+		t.Fatalf("x := 1 is overwritten on every path; DeadEverywhere = false")
+	}
+	// The branch defs are both read at the return.
+	if f.DeadEverywhere(f.DefsOf(x)[1]) || f.DeadEverywhere(f.DefsOf(x)[2]) {
+		t.Fatalf("branch defs are read at the return; DeadEverywhere = true")
+	}
+}
+
+func TestDeadBranch(t *testing.T) {
+	f, _, _ := build(t, `package p
+func deadbranch(c bool) int {
+	x := 1
+	if c {
+		x = 2 // never read: the true branch returns a constant
+		return 0
+	}
+	return x
+}`, "deadbranch")
+	x := objNamed(t, f, "x")
+	defs := f.DefsOf(x)
+	if len(defs) != 2 {
+		t.Fatalf("defs of x = %d, want 2", len(defs))
+	}
+	// x := 1 is overwritten unread on the true path but returned on the
+	// false one: dead on SOME path, not dead everywhere. This split is
+	// what lets lostcancel demand all-path coverage while dropped-value
+	// reporting tolerates the default-then-override idiom.
+	if !f.DeadOnSomePath(defs[0]) {
+		t.Fatalf("x := 1 is overwritten unread on the true path; DeadOnSomePath = false")
+	}
+	if f.DeadEverywhere(defs[0]) {
+		t.Fatalf("x := 1 is returned on the false path; DeadEverywhere = true")
+	}
+	// x = 2 is followed only by return 0: dead everywhere.
+	if !f.DeadEverywhere(defs[1]) {
+		t.Fatalf("x = 2 is never read; DeadEverywhere = false")
+	}
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	f, _, _ := build(t, `package p
+func loop(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s = s + i
+	}
+	return s
+}`, "loop")
+	s := objNamed(t, f, "s")
+	defs := f.DefsOf(s)
+	if len(defs) != 2 {
+		t.Fatalf("defs of s = %d, want 2", len(defs))
+	}
+	// At the use of s inside the loop body (s + i), both the initial def
+	// and the loop's own def reach — the back edge carries the second.
+	var bodyUse cfg.NodeRef
+	found := false
+	for _, u := range f.UsesOf(s) {
+		if u.Ref == defs[1].Ref { // the use inside the defining statement
+			bodyUse = u.Ref
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no use of s at the loop-body assignment")
+	}
+	reach := f.ReachingDefs(bodyUse, s)
+	if len(reach) != 2 {
+		t.Fatalf("reaching defs of s in loop body = %d, want 2 (entry + back edge)", len(reach))
+	}
+	// Both defs are ultimately read (loop body or return).
+	if f.DeadOnSomePath(defs[0]) {
+		t.Fatalf("s := 0 is read at return (zero iterations); not dead")
+	}
+	if f.DeadOnSomePath(defs[1]) {
+		t.Fatalf("loop def of s is read at return; not dead")
+	}
+}
+
+func TestRangeBindings(t *testing.T) {
+	f, _, _ := build(t, `package p
+func sum(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}`, "sum")
+	v := objNamed(t, f, "v")
+	defs := f.DefsOf(v)
+	if len(defs) != 1 {
+		t.Fatalf("defs of v = %d, want 1 (the range binding)", len(defs))
+	}
+	if defs[0].Entry() {
+		t.Fatalf("range binding classified as entry def")
+	}
+	// v regenerates at the loop head; its use in the body sees it.
+	reach := f.ReachingDefs(useRef(t, f, v, 0), v)
+	if len(reach) != 1 {
+		t.Fatalf("reaching defs of v at body use = %d, want 1", len(reach))
+	}
+	// The binding is dead on the zero-iteration path (head -> after), but
+	// that is inherent to range; clients only consult call-producing defs.
+	if defs[0].Call != nil {
+		t.Fatalf("range binding carries a producing call")
+	}
+}
+
+func TestTypeSwitchBindings(t *testing.T) {
+	f, _, _ := build(t, `package p
+func kind(x interface{}) string {
+	switch v := x.(type) {
+	case int:
+		_ = v
+		return "int"
+	case string:
+		return v
+	default:
+		return "other"
+	}
+}`, "kind")
+	// One implicit object per clause; each anchored at the assign node.
+	var tsDefs []*Def
+	for _, d := range f.defs {
+		if !d.Entry() && d.Obj.Name() == "v" {
+			tsDefs = append(tsDefs, d)
+		}
+	}
+	if len(tsDefs) != 3 {
+		t.Fatalf("type-switch implicit defs = %d, want 3 (one per clause)", len(tsDefs))
+	}
+	for _, d := range tsDefs[1:] {
+		if d.Ref != tsDefs[0].Ref {
+			t.Fatalf("implicit defs anchored at different refs: %v vs %v", d.Ref, tsDefs[0].Ref)
+		}
+	}
+	// The string clause's binding is used (returned).
+	used := 0
+	for _, d := range tsDefs {
+		if len(f.UsesOf(d.Obj)) > 0 {
+			used++
+		}
+	}
+	if used < 2 { // int clause (blank use) and string clause (return)
+		t.Fatalf("only %d type-switch bindings have uses, want >= 2", used)
+	}
+}
+
+func TestAliasChain(t *testing.T) {
+	f, _, _ := build(t, `package p
+func alias() int {
+	a := 1
+	b := a
+	c := b
+	d := 2
+	_ = c
+	return d
+}`, "alias")
+	a, b, c, d := objNamed(t, f, "a"), objNamed(t, f, "b"), objNamed(t, f, "c"), objNamed(t, f, "d")
+	if !f.MayAlias(a, b) || !f.MayAlias(b, c) || !f.MayAlias(a, c) {
+		t.Fatalf("a, b, c must alias through the copy chain")
+	}
+	if f.MayAlias(a, d) {
+		t.Fatalf("d is independent of a")
+	}
+	set := f.AliasSeeds(map[types.Object]bool{a: true})
+	if !set[b] || !set[c] || set[d] {
+		t.Fatalf("AliasSeeds({a}) = wrong closure: %v", set)
+	}
+}
+
+func TestSequentialOverwriteIsDead(t *testing.T) {
+	f, _, _ := build(t, `package p
+func f() error { return nil }
+func g() error { return nil }
+func seq() error {
+	err := f()
+	err = g()
+	return err
+}`, "seq")
+	err := objNamed(t, f, "err")
+	defs := f.DefsOf(err)
+	if len(defs) != 2 {
+		t.Fatalf("defs of err = %d, want 2", len(defs))
+	}
+	if !f.DeadEverywhere(defs[0]) {
+		t.Fatalf("err := f() is overwritten unread; DeadEverywhere = false")
+	}
+	if f.DeadEverywhere(defs[1]) {
+		t.Fatalf("err = g() is returned; DeadEverywhere = true")
+	}
+	if defs[0].Call == nil || defs[1].Call == nil {
+		t.Fatalf("call-producing defs missing their Call")
+	}
+}
+
+func TestCapturedAndAddressedAreExempt(t *testing.T) {
+	f, _, _ := build(t, `package p
+func h() error { return nil }
+func esc() {
+	err := h()
+	go func() { _ = err }()
+	x := h()
+	p := &x
+	_ = p
+}`, "esc")
+	err := objNamed(t, f, "err")
+	x := objNamed(t, f, "x")
+	if !f.Captured(err) {
+		t.Fatalf("err is referenced in a func literal; Captured = false")
+	}
+	if !f.Addressed(x) {
+		t.Fatalf("&x taken; Addressed = false")
+	}
+	for _, d := range f.DefsOf(err) {
+		if d.Entry() {
+			continue
+		}
+		if f.DeadOnSomePath(d) {
+			t.Fatalf("captured variable reported dead")
+		}
+	}
+	for _, d := range f.DefsOf(x) {
+		if d.Entry() {
+			continue
+		}
+		if f.DeadOnSomePath(d) {
+			t.Fatalf("addressed variable reported dead")
+		}
+	}
+}
+
+func TestUsedOnEveryPathDefer(t *testing.T) {
+	f, _, _ := build(t, `package p
+func mk() (int, func()) { return 0, func() {} }
+func good(c bool) {
+	_, cancel := mk()
+	defer cancel()
+	if c {
+		return
+	}
+}
+`, "good")
+	cancel := objNamed(t, f, "cancel")
+	defs := f.DefsOf(cancel)
+	if len(defs) != 1 {
+		t.Fatalf("defs of cancel = %d, want 1", len(defs))
+	}
+	if !f.UsedOnEveryPath(defs[0]) {
+		t.Fatalf("defer cancel() covers every path; UsedOnEveryPath = false")
+	}
+}
+
+func TestNotUsedOnSomePath(t *testing.T) {
+	f, _, _ := build(t, `package p
+func mk2() (int, func()) { return 0, func() {} }
+func bad(c bool) {
+	_, cancel := mk2()
+	if c {
+		cancel()
+	}
+}
+`, "bad")
+	cancel := objNamed(t, f, "cancel")
+	defs := f.DefsOf(cancel)
+	if f.UsedOnEveryPath(defs[0]) {
+		t.Fatalf("the c == false path never calls cancel; UsedOnEveryPath = true")
+	}
+}
+
+func TestEntryDefsParamsAndResults(t *testing.T) {
+	f, _, _ := build(t, `package p
+type T struct{ n int }
+func (t *T) m(a int) (out int) {
+	out = a + t.n
+	return out
+}`, "m")
+	entries := 0
+	for _, d := range f.defs {
+		if d.Entry() {
+			entries++
+		}
+	}
+	if entries != 3 { // receiver t, param a, named result out
+		t.Fatalf("entry defs = %d, want 3", entries)
+	}
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// fileEdit is a TextEdit resolved to byte offsets inside one file.
+type fileEdit struct {
+	file       string
+	start, end int
+	newText    []byte
+	diag       string // analyzer name, for conflict messages
+}
+
+// ApplyFixes collects the preferred (first) SuggestedFix of every
+// unsuppressed diagnostic, applies the edits, and returns the rewritten
+// files as filename -> gofmt-clean contents. Nothing is written to disk;
+// the caller decides that. Fixes attached to suppressed diagnostics are
+// skipped — a waiver means the occurrence is intended, so rewriting it
+// would override the human decision the directive records. Identical
+// edits from different diagnostics are deduplicated; overlapping edits
+// that differ are a conflict and abort the whole run rather than
+// guessing, as are rewrites that no longer parse.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (map[string][]byte, error) {
+	var edits []fileEdit
+	for _, d := range diags {
+		if d.Suppressed || len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		for _, e := range d.SuggestedFixes[0].TextEdits {
+			start := fset.Position(e.Pos)
+			if !start.IsValid() {
+				return nil, fmt.Errorf("mglint: fix from %s has an invalid position", d.Analyzer)
+			}
+			end := start.Offset
+			if e.End.IsValid() {
+				end = fset.Position(e.End).Offset
+			}
+			if end < start.Offset {
+				return nil, fmt.Errorf("mglint: fix from %s at %s has End before Pos", d.Analyzer, start)
+			}
+			edits = append(edits, fileEdit{
+				file:    start.Filename,
+				start:   start.Offset,
+				end:     end,
+				newText: e.NewText,
+				diag:    d.Analyzer,
+			})
+		}
+	}
+	if len(edits) == 0 {
+		return nil, nil
+	}
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].file != edits[j].file {
+			return edits[i].file < edits[j].file
+		}
+		if edits[i].start != edits[j].start {
+			return edits[i].start < edits[j].start
+		}
+		return edits[i].end < edits[j].end
+	})
+
+	byFile := make(map[string][]fileEdit)
+	for _, e := range edits {
+		list := byFile[e.file]
+		if n := len(list); n > 0 {
+			prev := list[n-1]
+			if prev.start == e.start && prev.end == e.end && bytes.Equal(prev.newText, e.newText) {
+				continue // two diagnostics proposing the same rewrite
+			}
+			if e.start < prev.end || (e.start == prev.start && prev.end == e.end) {
+				return nil, fmt.Errorf("mglint: conflicting fixes in %s (%s vs %s at byte %d); not applying any",
+					e.file, prev.diag, e.diag, e.start)
+			}
+		}
+		byFile[e.file] = append(list, e)
+	}
+
+	out := make(map[string][]byte, len(byFile))
+	for file, list := range byFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("mglint: %v", err)
+		}
+		var buf bytes.Buffer
+		last := 0
+		for _, e := range list {
+			if e.end > len(src) {
+				return nil, fmt.Errorf("mglint: fix from %s out of range in %s", e.diag, file)
+			}
+			buf.Write(src[last:e.start])
+			buf.Write(e.newText)
+			last = e.end
+		}
+		buf.Write(src[last:])
+		formatted, err := format.Source(buf.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("mglint: fixed %s does not parse: %v", file, err)
+		}
+		out[file] = formatted
+	}
+	return out, nil
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -115,7 +116,7 @@ func decodeList(r io.Reader) ([]listEntry, error) {
 	var entries []listEntry
 	for {
 		var e listEntry
-		if err := dec.Decode(&e); err == io.EOF {
+		if err := dec.Decode(&e); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("mglint: decoding go list output: %v", err)

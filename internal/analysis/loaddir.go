@@ -41,6 +41,13 @@ func LoadGolden(root, target string) ([]*Package, error) {
 		state:  make(map[string]int),
 		stdlib: make(map[string]string),
 	}
+	// One shared gc importer for the whole load: importer.ForCompiler
+	// caches per instance, and a fresh instance per import would hand out
+	// distinct *types.Package identities for the same stdlib package
+	// (context's time.Duration ≠ the golden file's time.Duration). The
+	// lookup closure reads l.stdlib by reference, so export paths
+	// resolved later are visible to it.
+	l.imp = exportImporter(l.fset, nil, l.stdlib)
 	if err := l.load(target); err != nil {
 		return nil, err
 	}
@@ -54,6 +61,7 @@ type goldenLoader struct {
 	types  map[string]*types.Package
 	state  map[string]int // 0 unvisited, 1 loading, 2 done
 	stdlib map[string]string
+	imp    types.Importer // shared gc importer, one identity per stdlib package
 }
 
 func (l *goldenLoader) load(name string) error {
@@ -107,7 +115,7 @@ func (l *goldenLoader) load(name string) error {
 		if p, ok := l.types[path]; ok {
 			return p, nil
 		}
-		return exportImporter(l.fset, nil, l.stdlib).Import(path)
+		return l.imp.Import(path)
 	})
 	tpkg, info, err := typecheck(l.fset, name, files, imp)
 	if err != nil {

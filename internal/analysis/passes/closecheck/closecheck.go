@@ -35,6 +35,8 @@ import (
 	"strings"
 
 	"mgdiffnet/internal/analysis"
+	"mgdiffnet/internal/analysis/cfg"
+	"mgdiffnet/internal/analysis/dataflow"
 )
 
 // ReturnsWriteHandle marks a function whose *os.File result is opened
@@ -79,7 +81,7 @@ func run(pass *analysis.Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkFunc(pass, fd.Body, openers)
+			checkFunc(pass, fd, openers)
 		}
 	}
 	return nil
@@ -203,7 +205,8 @@ func writeHandles(pass *analysis.Pass, body *ast.BlockStmt, openers map[*types.F
 	return handles
 }
 
-func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, openers map[*types.Func]bool) {
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, openers map[*types.Func]bool) {
+	body := fd.Body
 	// Receivers whose .Error() is consulted somewhere in the function:
 	// the csv.Writer protocol.
 	errorChecked := make(map[types.Object]bool)
@@ -218,8 +221,15 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, openers map[*types.Func
 		return true
 	})
 	// Locals holding write handles — opened here or returned by a
-	// fact-carrying opener in any package.
+	// fact-carrying opener in any package — expanded through the
+	// function's dataflow aliases: `w := f` makes w a write handle too,
+	// so `defer w.Close()` is caught exactly like `defer f.Close()`.
 	writeFiles := writeHandles(pass, body, openers)
+	if len(writeFiles) > 0 {
+		g := cfg.New(body, pass.Info)
+		flow := dataflow.New(g, fd.Recv, fd.Type, body, pass.Info)
+		writeFiles = flow.AliasSeeds(writeFiles)
+	}
 
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {

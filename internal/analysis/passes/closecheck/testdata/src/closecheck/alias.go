@@ -1,0 +1,41 @@
+// Alias cases: the dataflow layer joins `w := f`, so a deferred Close
+// through any name of a write handle is caught, while read handles stay
+// exempt through their aliases too.
+package closecheck
+
+import "os"
+
+func aliasedDeferClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := f
+	defer w.Close() // want `deferred Close on a file opened for writing`
+	_, err = w.WriteString("data")
+	return err
+}
+
+func aliasChainDeferClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := f
+	v := w
+	defer v.Close() // want `deferred Close on a file opened for writing`
+	_, err = v.WriteString("data")
+	return err
+}
+
+func aliasedReadOnly(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	r := f
+	defer r.Close() // read handle: alias of a read-only open, exempt
+	buf := make([]byte, 8)
+	_, err = r.Read(buf)
+	return err
+}

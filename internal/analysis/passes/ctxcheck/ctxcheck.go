@@ -1,0 +1,403 @@
+// Package ctxcheck enforces the context discipline the serving layer
+// depends on: deadlines and client disconnects propagate only if every
+// request-path function threads one ctx, cancels fire on every path,
+// and long-running loops can be told to stop.
+//
+// Rules:
+//
+//   - A context.Context parameter must be the first parameter and be
+//     named ctx (x/tools convention, repo-wide).
+//   - context.Context must not be stored in a struct field: a stored
+//     context outlives the request that created it and silently detaches
+//     deadline propagation. Pass it per call.
+//   - The cancel func returned by context.WithCancel / WithTimeout /
+//     WithDeadline must be called or deferred on every control-flow path
+//     (lostcancel, proved with dataflow.UsedOnEveryPath), and must not
+//     be assigned to _.
+//   - In the serve and dist packages, an infinite for/select loop with
+//     no default clause is a long-running worker; it must have a
+//     shutdown arm — a receive of ctx.Done() or of a close-signalling
+//     chan struct{} — or the goroutine leaks past Close/SIGTERM.
+//   - Functions reachable from the request path (Engine.Solve*) must not
+//     call context.Background or context.TODO: a fresh root context
+//     breaks deadline and cancellation propagation mid-request. The
+//     reachability is interprocedural via the exported CallsBackground
+//     fact, so a helper two packages down still taints its callers.
+//
+// Test files are exempt from every rule: tests construct contexts and
+// loops however they like.
+package ctxcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"strings"
+
+	"mgdiffnet/internal/analysis"
+	"mgdiffnet/internal/analysis/cfg"
+	"mgdiffnet/internal/analysis/dataflow"
+)
+
+// CallsBackground marks a function that reaches context.Background or
+// context.TODO on some path, directly or through calls. Via is the call
+// chain to the sink.
+type CallsBackground struct{ Via string }
+
+func (*CallsBackground) AFact() {}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "ctxcheck",
+	Doc:       "enforce context.Context discipline: ctx-first params, no stored contexts, lostcancel, loop shutdown arms, no Background on the request path",
+	FactTypes: []analysis.Fact{(*CallsBackground)(nil)},
+	Run:       run,
+}
+
+// loopPkgs are the final import-path segments whose for/select loops are
+// long-running workers by construction (dispatcher, transport read/write
+// loops) and therefore need a shutdown arm.
+var loopPkgs = map[string]bool{
+	"serve": true,
+	"dist":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	bg := computeBackgroundFacts(pass)
+	for fn, via := range bg {
+		pass.ExportObjectFact(fn, &CallsBackground{Via: via})
+	}
+	checkLoops := loopPkgs[path.Base(pass.Pkg.Path())]
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				checkStructFields(pass, n)
+			case *ast.FuncDecl:
+				checkParams(pass, n.Type)
+				checkSolveRoot(pass, n, bg)
+				if n.Body != nil {
+					checkBody(pass, n.Recv, n.Type, n.Body, checkLoops)
+				}
+			case *ast.FuncLit:
+				checkParams(pass, n.Type)
+				checkBody(pass, nil, n.Type, n.Body, checkLoops)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkParams enforces ctx-first-and-named-ctx on one signature.
+func checkParams(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0 // parameter index, counting multi-name fields
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pass.TypeOf(field.Type)) {
+			if pos != 0 {
+				pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+			}
+			for _, name := range field.Names {
+				if name.Name != "ctx" && name.Name != "_" {
+					pass.Reportf(name.Pos(), "context.Context parameter must be named ctx, not %s", name.Name)
+				}
+			}
+		}
+		pos += n
+	}
+}
+
+// checkStructFields forbids storing a context in a struct.
+func checkStructFields(pass *analysis.Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if isContextType(pass.TypeOf(field.Type)) {
+			pass.Reportf(field.Pos(), "do not store context.Context in a struct field; pass it as the first argument of each call that needs it")
+		}
+	}
+}
+
+// checkBody runs the per-function-body rules: lostcancel and the loop
+// shutdown-arm rule. Nested function literals are skipped — the outer
+// Inspect visits each one with its own body and flow.
+func checkBody(pass *analysis.Pass, recv *ast.FieldList, ft *ast.FuncType, body *ast.BlockStmt, checkLoops bool) {
+	var flow *dataflow.Flow // built on first demand
+	getFlow := func() *dataflow.Flow {
+		if flow == nil {
+			g := cfg.New(body, pass.Info)
+			flow = dataflow.New(g, recv, ft, body, pass.Info)
+		}
+		return flow
+	}
+	inspectShallow(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkLostCancel(pass, n, getFlow)
+		case *ast.ForStmt:
+			if checkLoops {
+				checkLoopShutdown(pass, n)
+			}
+		}
+	})
+}
+
+// inspectShallow walks a body without descending into function literals.
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// cancelCtors are the context constructors whose second result must not
+// be lost.
+var cancelCtors = map[string]bool{
+	"WithCancel":   true,
+	"WithTimeout":  true,
+	"WithDeadline": true,
+}
+
+// checkLostCancel verifies the cancel func of a With* assignment is
+// called or deferred on every path from the assignment to exit.
+func checkLostCancel(pass *analysis.Pass, as *ast.AssignStmt, getFlow func() *dataflow.Flow) {
+	if len(as.Lhs) != 2 || len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := callee(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" || !cancelCtors[fn.Name()] {
+		return
+	}
+	id, ok := as.Lhs[1].(*ast.Ident)
+	if !ok {
+		return
+	}
+	if id.Name == "_" {
+		pass.Reportf(id.Pos(), "the cancel function of context.%s is discarded; it must be called to release the context's resources", fn.Name())
+		return
+	}
+	obj := pass.Info.Defs[id]
+	if obj == nil {
+		obj = pass.Info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	flow := getFlow()
+	for _, def := range flow.DefsOf(obj) {
+		if def.Site != as {
+			continue
+		}
+		if !flow.UsedOnEveryPath(def) {
+			pass.Reportf(id.Pos(), "the %s from context.%s is not called on every path; defer %s() immediately after checking the error", id.Name, fn.Name(), id.Name)
+		}
+		return
+	}
+}
+
+// checkLoopShutdown requires a shutdown arm on infinite for/select
+// worker loops: a receive whose channel carries struct{} (ctx.Done(),
+// a quit/closed channel) proves the loop can be stopped.
+func checkLoopShutdown(pass *analysis.Pass, loop *ast.ForStmt) {
+	if loop.Cond != nil {
+		return // bounded loop: terminates on its own
+	}
+	for _, stmt := range loop.Body.List {
+		sel, ok := stmt.(*ast.SelectStmt)
+		if !ok {
+			continue
+		}
+		hasDefault := false
+		hasShutdown := false
+		for _, cl := range sel.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm == nil {
+				hasDefault = true
+				continue
+			}
+			if recvIsShutdown(pass, cc.Comm) {
+				hasShutdown = true
+			}
+		}
+		// A default arm means the loop is a poll/drain and exits by
+		// other means (the dispatcher's drain loops); only blocking
+		// selects are long-running workers.
+		if !hasDefault && !hasShutdown {
+			pass.Reportf(loop.Pos(), "long-running for/select loop has no shutdown arm; add a ctx.Done() or close-signal (chan struct{}) case so the worker can be stopped")
+		}
+	}
+}
+
+// recvIsShutdown reports whether a comm clause statement receives from a
+// channel whose element type is struct{} — the shape of ctx.Done() and
+// of close-only signal channels.
+func recvIsShutdown(pass *analysis.Pass, comm ast.Stmt) bool {
+	var recv ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		recv = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			recv = s.Rhs[0]
+		}
+	}
+	un, ok := recv.(*ast.UnaryExpr)
+	if !ok {
+		return false
+	}
+	t := pass.TypeOf(un.X)
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// checkSolveRoot reports request-path roots — Engine.Solve* methods —
+// that reach context.Background or context.TODO.
+func checkSolveRoot(pass *analysis.Pass, fd *ast.FuncDecl, bg map[*types.Func]string) {
+	if fd.Recv == nil || !strings.HasPrefix(fd.Name.Name, "Solve") {
+		return
+	}
+	if recvTypeName(fd.Recv) != "Engine" {
+		return
+	}
+	fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	if via, ok := bg[fn]; ok {
+		pass.Reportf(fd.Name.Pos(), "request-path Engine.%s reaches a fresh root context (%s); thread the incoming ctx instead of context.Background/TODO", fd.Name.Name, via)
+	}
+}
+
+func recvTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// computeBackgroundFacts derives, to a fixpoint over the package's call
+// graph, the functions that reach context.Background or context.TODO.
+// Waived occurrences export nothing: a documented root context (a main,
+// a detached janitor) must not taint its callers. Test files excluded.
+func computeBackgroundFacts(pass *analysis.Pass) map[*types.Func]string {
+	bg := make(map[*types.Func]string)
+	type decl struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []decl
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls = append(decls, decl{fn, fd.Body})
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if _, done := bg[d.fn]; done {
+				continue
+			}
+			ast.Inspect(d.body, func(n ast.Node) bool {
+				if _, done := bg[d.fn]; done {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := callee(pass, call)
+				if fn == nil || pass.Waived(call.Pos()) {
+					return true
+				}
+				if fn.Pkg() != nil && fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+					bg[d.fn] = "context." + fn.Name()
+					changed = true
+					return false
+				}
+				if via, ok := bg[fn]; ok && fn != d.fn {
+					bg[d.fn] = fn.Name() + " -> " + via
+					changed = true
+					return false
+				}
+				if fn.Pkg() != pass.Pkg {
+					var f CallsBackground
+					if pass.ImportObjectFact(fn, &f) {
+						bg[d.fn] = fn.Name() + " -> " + f.Via
+						changed = true
+						return false
+					}
+				}
+				return true
+			})
+		}
+	}
+	return bg
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

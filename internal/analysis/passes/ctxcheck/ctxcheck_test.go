@@ -1,0 +1,22 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"mgdiffnet/internal/analysis/analysistest"
+	"mgdiffnet/internal/analysis/passes/ctxcheck"
+)
+
+// TestCtxcheckGolden covers the in-package rules: parameter discipline,
+// stored contexts, lostcancel via dataflow, waivers, and a same-package
+// Background chain at a Solve root.
+func TestCtxcheckGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxcheck.Analyzer, "ctxcheck")
+}
+
+// TestCtxcheckServeGolden loads the golden "serve" package with its
+// ctxbg dependency: the loop shutdown-arm rule is live there, and the
+// CallsBackground fact chain crosses the package boundary.
+func TestCtxcheckServeGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxcheck.Analyzer, "serve")
+}

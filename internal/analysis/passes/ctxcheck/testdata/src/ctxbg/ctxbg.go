@@ -1,0 +1,21 @@
+// Package ctxbg is a golden dependency for the ctxcheck fact tests: its
+// helpers reach context.Background one and two calls deep, exporting
+// CallsBackground facts the importing golden package must see.
+package ctxbg
+
+import "context"
+
+// Fresh mints a root context.
+func Fresh() context.Context {
+	return context.Background()
+}
+
+// Indirect reaches Background through Fresh, so the chain has two hops.
+func Indirect() context.Context {
+	return Fresh()
+}
+
+// Threaded is clean: it only derives from what it is given.
+func Threaded(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}

@@ -1,0 +1,88 @@
+// Golden package for the ctxcheck analyzer's in-package rules:
+// parameter position/name, stored contexts, and lostcancel. The package
+// name is not serve/dist, so the loop shutdown rule stays silent here
+// (exercised in the serve golden).
+package ctxcheck
+
+import (
+	"context"
+	"time"
+)
+
+// --- parameter discipline ---
+
+func good(ctx context.Context, n int) {}
+
+func wrongName(c context.Context, n int) {} // want `must be named ctx, not c`
+
+func notFirst(n int, ctx context.Context) {} // want `must be the first parameter`
+
+func literals() {
+	_ = func(ctx context.Context) {}
+	_ = func(n int, ctx context.Context) {} // want `must be the first parameter`
+}
+
+// --- stored contexts ---
+
+type request struct {
+	ctx context.Context // want `do not store context.Context in a struct field`
+	n   int
+}
+
+type clean struct {
+	n int
+}
+
+// --- lostcancel ---
+
+func cancelDiscarded(ctx context.Context) context.Context {
+	sub, _ := context.WithCancel(ctx) // want `cancel function of context.WithCancel is discarded`
+	return sub
+}
+
+func cancelAllPaths(ctx context.Context, d time.Duration) error {
+	sub, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	return sub.Err()
+}
+
+func cancelLostOnError(ctx context.Context, ok bool) error {
+	sub, cancel := context.WithCancel(ctx) // want `cancel from context.WithCancel is not called on every path`
+	if !ok {
+		return context.Canceled
+	}
+	defer cancel()
+	return sub.Err()
+}
+
+func cancelReturned(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}
+
+func cancelHanded(ctx context.Context) (context.Context, context.CancelFunc) {
+	sub, cancel := context.WithDeadline(ctx, time.Time{})
+	return sub, cancel
+}
+
+func cancelWaived(ctx context.Context) context.Context {
+	//mglint:ignore ctxcheck the janitor context is cancelled by process exit on purpose
+	sub, _ := context.WithCancel(ctx)
+	return sub
+}
+
+// --- request-path roots (same-package chain) ---
+
+type Engine struct{ n int }
+
+func freshRoot() context.Context {
+	return context.Background()
+}
+
+func (e *Engine) SolveLocal(ctx context.Context) error { // want `request-path Engine.SolveLocal reaches a fresh root context \(freshRoot -> context.Background\)`
+	sub := freshRoot()
+	return sub.Err()
+}
+
+func (e *Engine) Solve(ctx context.Context) error {
+	return ctx.Err()
+}

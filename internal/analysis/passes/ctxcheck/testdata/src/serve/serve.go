@@ -1,0 +1,86 @@
+// Golden "serve" package for ctxcheck: the package name makes the loop
+// shutdown rule live, and the ctxbg import exercises the cross-package
+// CallsBackground fact chain at Engine.Solve* request-path roots.
+package serve
+
+import (
+	"context"
+
+	"ctxbg"
+)
+
+type Engine struct {
+	quit chan struct{}
+	work chan int
+}
+
+// A ctx.Done() arm satisfies the shutdown rule.
+func (e *Engine) dispatchGood(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case w := <-e.work:
+			_ = w
+		}
+	}
+}
+
+// A close-signal chan struct{} arm does too (the dispatcher idiom).
+func (e *Engine) quitGood() {
+	for {
+		select {
+		case <-e.quit:
+			return
+		case w := <-e.work:
+			_ = w
+		}
+	}
+}
+
+// A default arm marks a poll/drain loop, exempt from the rule.
+func (e *Engine) pollGood() {
+	for {
+		select {
+		case w := <-e.work:
+			_ = w
+		default:
+			return
+		}
+	}
+}
+
+func (e *Engine) leaky() {
+	for { // want `long-running for/select loop has no shutdown arm`
+		select {
+		case w := <-e.work:
+			_ = w
+		}
+	}
+}
+
+// A bounded loop terminates on its own.
+func bounded(e *Engine, n int) {
+	for i := 0; i < n; i++ {
+		select {
+		case w := <-e.work:
+			_ = w
+		}
+	}
+}
+
+func (e *Engine) SolveRemote(ctx context.Context) error { // want `request-path Engine.SolveRemote reaches a fresh root context \(Fresh -> context.Background\)`
+	sub := ctxbg.Fresh()
+	return sub.Err()
+}
+
+func (e *Engine) SolveTwoHops(ctx context.Context) error { // want `\(Indirect -> Fresh -> context.Background\)`
+	sub := ctxbg.Indirect()
+	return sub.Err()
+}
+
+func (e *Engine) SolveClean(ctx context.Context) error {
+	sub, cancel := ctxbg.Threaded(ctx)
+	defer cancel()
+	return sub.Err()
+}

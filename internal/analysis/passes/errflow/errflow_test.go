@@ -1,0 +1,15 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"mgdiffnet/internal/analysis/analysistest"
+	"mgdiffnet/internal/analysis/passes/errflow"
+)
+
+// TestErrflowGolden loads the errflow golden package together with its
+// errwrap dependency, exercising the in-package rules and the
+// cross-package ReturnsWrappedError fact chain in one run.
+func TestErrflowGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", errflow.Analyzer, "errflow")
+}

@@ -1,0 +1,114 @@
+// Golden package for the errflow analyzer: sentinel comparisons on
+// possibly-wrapped values, provably-unwrapped exemptions, message-text
+// matching, dropped errors, and the cross-package ReturnsWrappedError
+// fact chain through the errwrap golden dependency.
+package errflow
+
+import (
+	"errors"
+	"io"
+	"strings"
+
+	"errwrap"
+)
+
+var ErrBusy = errors.New("busy")
+
+func read() error { return io.EOF }
+
+func direct() bool {
+	err := read()
+	return err == io.EOF // want `io.EOF compared with ==`
+}
+
+func negated() bool {
+	err := read()
+	if err != ErrBusy { // want `ErrBusy compared with !=`
+		return true
+	}
+	return false
+}
+
+func callResult() bool {
+	return read() == io.EOF // want `io.EOF compared with ==`
+}
+
+// Every reaching definition is a direct sentinel or nil assignment: the
+// value provably never crossed a call, so == is exact and allowed.
+func provable(c bool) bool {
+	var err error
+	err = ErrBusy
+	if c {
+		err = nil
+	}
+	return err == ErrBusy
+}
+
+// The sanctioned form is never flagged.
+func sanctioned() bool {
+	return errors.Is(read(), io.EOF)
+}
+
+func viaFactOneHop(p string) bool {
+	err := errwrap.Load(p)
+	return err == io.EOF // want `wrapped via Load -> fmt.Errorf\(%w\)`
+}
+
+func viaFactTwoHops(p string) bool {
+	err := errwrap.Indirect(p)
+	return err == io.EOF // want `wrapped via Indirect -> Load -> fmt.Errorf\(%w\)`
+}
+
+func viaPlainCall() bool {
+	err := errwrap.Plain()
+	return err == io.EOF // want `io.EOF compared with ==`
+}
+
+func waived() bool {
+	err := read()
+	//mglint:ignore errflow the decoder contract pins an unwrapped io.EOF at stream end
+	return err == io.EOF
+}
+
+func messageText() bool {
+	return read().Error() == "EOF" // want `err.Error\(\) message text`
+}
+
+func messageMatch(err error) bool {
+	return strings.Contains(err.Error(), "busy") // want `strings.Contains on err.Error\(\)`
+}
+
+func sentinelSwitch(err error) int {
+	switch err { // want `switch on an error value`
+	case io.EOF:
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+func dropped() int {
+	err := read() // want `error assigned to err here is never checked`
+	err = read()
+	if err != nil {
+		return 1
+	}
+	return 0
+}
+
+// The default-then-override idiom: the first definition is read on the
+// non-override path, so it is not a dropped error.
+func override(c bool) error {
+	err := read()
+	if c {
+		err = errors.New("other")
+	}
+	return err
+}
+
+// A captured error has flow the CFG cannot see; never reported.
+func captured() func() error {
+	err := read()
+	return func() error { return err }
+}

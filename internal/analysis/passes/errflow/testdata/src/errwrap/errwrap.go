@@ -1,0 +1,28 @@
+// Package errwrap is a golden dependency for the errflow fact tests: it
+// wraps io.EOF one and two calls deep, exporting ReturnsWrappedError
+// facts that the importing golden package must see.
+package errwrap
+
+import (
+	"fmt"
+	"io"
+)
+
+// Load returns a wrapped io.EOF: callers comparing with == lose.
+func Load(p string) error {
+	return fmt.Errorf("load %s: %w", p, io.EOF)
+}
+
+// Indirect wraps through Load, so the fact chain has two hops.
+func Indirect(p string) error {
+	if p == "" {
+		return nil
+	}
+	return Load(p)
+}
+
+// Plain never wraps; comparing its result is still flagged (a call may
+// wrap tomorrow), but without a chain in the message.
+func Plain() error {
+	return io.EOF
+}

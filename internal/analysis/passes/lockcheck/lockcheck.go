@@ -36,6 +36,7 @@ import (
 
 	"mgdiffnet/internal/analysis"
 	"mgdiffnet/internal/analysis/cfg"
+	"mgdiffnet/internal/analysis/dataflow"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -52,11 +53,11 @@ func run(pass *analysis.Pass) error {
 			switch n := n.(type) {
 			case *ast.FuncDecl:
 				if n.Body != nil {
-					checkPaths(pass, n.Body)
+					checkPaths(pass, n.Recv, n.Type, n.Body)
 				}
 				checkSignatureCopies(pass, n.Recv, n.Type)
 			case *ast.FuncLit:
-				checkPaths(pass, n.Body)
+				checkPaths(pass, nil, n.Type, n.Body)
 				checkSignatureCopies(pass, nil, n.Type)
 			}
 			return true
@@ -82,11 +83,73 @@ type lockOp struct {
 	acquire bool
 }
 
+// keyer canonicalizes lock-receiver expressions: an identifier with
+// exactly one definition whose right-hand side is known resolves to that
+// value's source form, with address-of and parens stripped — so
+// `mu := &s.mu; mu.Lock()` and `s.mu.Unlock()` land on the same key
+// "s.mu" and pair up. Ambiguous (multiply-defined) names keep their own
+// source form: guessing between two mutexes would be worse than a
+// conservative mismatch.
+type keyer struct {
+	pass *analysis.Pass
+	recv *ast.FieldList
+	ft   *ast.FuncType
+	body *ast.BlockStmt
+	flow *dataflow.Flow // built on first demand
+}
+
+func (k *keyer) key(e ast.Expr) string {
+	e = stripAddr(e)
+	for range [8]struct{}{} { // alias chains are short; bound the walk
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			break
+		}
+		obj := k.pass.Info.Uses[id]
+		if obj == nil {
+			obj = k.pass.Info.Defs[id]
+		}
+		if obj == nil {
+			break
+		}
+		if k.flow == nil {
+			g := cfg.New(k.body, k.pass.Info)
+			k.flow = dataflow.New(g, k.recv, k.ft, k.body, k.pass.Info)
+		}
+		defs := k.flow.DefsOf(obj)
+		if len(defs) != 1 || defs[0].RHS == nil {
+			break
+		}
+		next := stripAddr(defs[0].RHS)
+		if next == e {
+			break
+		}
+		e = next
+	}
+	return types.ExprString(e)
+}
+
+func stripAddr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return e
+			}
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
 // classifyLockCall recognizes Lock/Unlock/RLock/RUnlock calls on
 // sync.Mutex and sync.RWMutex (including promoted methods of embedded
-// mutexes) and returns the op keyed by the receiver expression's source
-// form.
-func classifyLockCall(pass *analysis.Pass, call *ast.CallExpr) (lockOp, bool) {
+// mutexes) and returns the op keyed by the receiver expression's
+// canonical form.
+func classifyLockCall(pass *analysis.Pass, k *keyer, call *ast.CallExpr) (lockOp, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return lockOp{}, false
@@ -112,7 +175,7 @@ func classifyLockCall(pass *analysis.Pass, call *ast.CallExpr) (lockOp, bool) {
 	default:
 		return lockOp{}, false
 	}
-	op := lockOp{key: types.ExprString(sel.X)}
+	op := lockOp{key: k.key(sel.X)}
 	switch fn.Name() {
 	case "Lock":
 		op.kind, op.acquire = writeLock, true
@@ -130,15 +193,15 @@ func classifyLockCall(pass *analysis.Pass, call *ast.CallExpr) (lockOp, bool) {
 
 // stmtLockOp classifies a CFG node when it is a bare lock-method call
 // statement or a deferred one.
-func stmtLockOp(pass *analysis.Pass, n ast.Node) (op lockOp, deferred, ok bool) {
+func stmtLockOp(pass *analysis.Pass, k *keyer, n ast.Node) (op lockOp, deferred, ok bool) {
 	switch n := n.(type) {
 	case *ast.ExprStmt:
 		if call, isCall := n.X.(*ast.CallExpr); isCall {
-			op, ok = classifyLockCall(pass, call)
+			op, ok = classifyLockCall(pass, k, call)
 			return op, false, ok
 		}
 	case *ast.DeferStmt:
-		op, ok = classifyLockCall(pass, n.Call)
+		op, ok = classifyLockCall(pass, k, n.Call)
 		return op, true, ok
 	}
 	return lockOp{}, false, false
@@ -146,15 +209,16 @@ func stmtLockOp(pass *analysis.Pass, n ast.Node) (op lockOp, deferred, ok bool) 
 
 // checkPaths runs the path-sensitive Lock/Unlock pairing and
 // send-under-lock checks over one function body.
-func checkPaths(pass *analysis.Pass, body *ast.BlockStmt) {
+func checkPaths(pass *analysis.Pass, recv *ast.FieldList, ft *ast.FuncType, body *ast.BlockStmt) {
 	g := cfg.New(body, pass.Info)
+	k := &keyer{pass: pass, recv: recv, ft: ft, body: body}
 	for _, b := range g.Blocks {
 		for i, n := range b.Nodes {
-			op, deferred, ok := stmtLockOp(pass, n)
+			op, deferred, ok := stmtLockOp(pass, k, n)
 			if !ok || !op.acquire || deferred {
 				continue
 			}
-			simulate(pass, g, b, i+1, n.Pos(), op)
+			simulate(pass, g, k, b, i+1, n.Pos(), op)
 		}
 	}
 }
@@ -165,7 +229,7 @@ func checkPaths(pass *analysis.Pass, body *ast.BlockStmt) {
 // the call. A deferred unlock removes the leak (it fires at exit) but
 // does NOT end the held region: statements after `defer mu.Unlock()`
 // still run under the lock, so the blocking-call scan continues.
-func simulate(pass *analysis.Pass, g *cfg.Graph, b *cfg.Block, start int, lockPos token.Pos, acq lockOp) {
+func simulate(pass *analysis.Pass, g *cfg.Graph, k *keyer, b *cfg.Block, start int, lockPos token.Pos, acq lockOp) {
 	type frame struct {
 		b        *cfg.Block
 		start    int
@@ -185,7 +249,7 @@ func simulate(pass *analysis.Pass, g *cfg.Graph, b *cfg.Block, start int, lockPo
 		released := false
 		for i := fr.start; i < len(fr.b.Nodes) && !released; i++ {
 			n := fr.b.Nodes[i]
-			if op, isDefer, ok := stmtLockOp(pass, n); ok && op.key == acq.key && op.kind == acq.kind {
+			if op, isDefer, ok := stmtLockOp(pass, k, n); ok && op.key == acq.key && op.kind == acq.kind {
 				switch {
 				case op.acquire && !isDefer:
 					// Re-acquire while held: this path deadlocks here

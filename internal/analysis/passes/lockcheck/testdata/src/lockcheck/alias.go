@@ -1,0 +1,44 @@
+// Alias cases: the dataflow layer canonicalizes a single-definition
+// local pointer to the mutex it denotes, so `mu := &s.mu` pairs with
+// operations spelled through either name.
+package lockcheck
+
+func aliasPairsWithField(s *state) int {
+	mu := &s.mu
+	mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+func aliasPairsBothWays(s *state) int {
+	mu := &s.mu
+	s.mu.Lock()
+	n := s.n
+	mu.Unlock()
+	return n
+}
+
+func aliasLeakStillCaught(s *state, bad bool) int {
+	mu := &s.mu
+	mu.Lock() // want `s.mu.Lock is not released on every path`
+	if bad {
+		return 0
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+// A reassigned pointer is ambiguous; both names keep their own key, so
+// the pairing is judged per spelling and the leak on mu's key is
+// reported rather than guessed away.
+func reassignedAliasIsConservative(s *state, t *state, bad bool) int {
+	mu := &s.mu
+	if bad {
+		mu = &t.mu
+	}
+	mu.Lock() // want `mu.Lock is not released on every path`
+	n := s.n
+	s.mu.Unlock()
+	return n
+}

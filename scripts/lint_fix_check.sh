@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI guard for `mglint -fix`: copy the deliberately dirty fixture module
+# (cmd/mglint/testdata/fixmod, one errflow `err == io.EOF` comparison)
+# to a scratch dir, apply fixes through the real binary, and require the
+# rewrite to exit clean, be gofmt-clean, and lint clean on a second run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go build -o bin/mglint ./cmd/mglint
+MGLINT="$PWD/bin/mglint"
+FIXTURE="$PWD/cmd/mglint/testdata/fixmod"
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+cp -r "$FIXTURE/." "$work"
+
+cd "$work"
+"$MGLINT" -fix ./...
+
+if ! grep -q 'errors.Is(err, io.EOF)' eof/eof.go; then
+  echo "lint_fix_check: comparison was not rewritten to errors.Is" >&2
+  cat eof/eof.go >&2
+  exit 1
+fi
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "lint_fix_check: -fix produced non-gofmt output in:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
+echo "lint_fix_check: applied diff"
+diff -ru "$FIXTURE" . || true
+
+"$MGLINT" ./...
+echo "lint_fix_check: ok (rewrite is gofmt-clean and lints clean)"
